@@ -1,0 +1,60 @@
+// Shared helpers for the table/figure regeneration benches.
+//
+// Each bench binary regenerates one table or figure from the paper on a
+// downscaled problem: the absolute numbers differ from the paper's
+// Titan-scale runs (documented in EXPERIMENTS.md), but the structure —
+// who wins, what is imbalanced, where the crossovers sit — is measured,
+// not modeled, unless a column explicitly says "projected".
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/workflows.h"
+#include "util/table.h"
+
+using cosmo::TextTable;
+
+namespace bench_common {
+
+/// The downscaled analysis problem used by the Table 3/4 benches: a stand-in
+/// for the paper's 1024³/32-node test run. One rare, large halo dominates
+/// center-finding cost, as in the paper (largest halo 2,548,321 particles).
+inline cosmo::core::WorkflowProblem table34_problem(const std::string& tag) {
+  cosmo::core::WorkflowProblem p;
+  p.universe.box = 48.0;
+  p.universe.seed = 20151115;  // SC'15 started Nov 15, 2015
+  p.universe.halo_count = 60;
+  p.universe.min_particles = 60;
+  p.universe.max_particles = 26000;  // the "monster": ~18x the median halo
+  p.universe.background_particles = 12000;
+  p.universe.subclump_fraction = 0.0;
+  p.ranks = 8;          // stands in for the paper's 32 Titan nodes
+  p.analysis_ranks = 2; // stands in for the paper's 4-node analysis job
+  p.ranks_per_file = 4;
+  p.linking_length = 0.32;
+  p.min_halo_size = 40;
+  p.overload = 3.0;
+  p.threshold = 1200;   // stands in for the paper's 300,000 split
+  p.compute_so_mass = true;
+  p.compute_subhalos = false;
+  p.workdir = std::filesystem::temp_directory_path() /
+              ("cosmoflow_bench_" + tag + "_" + std::to_string(::getpid()));
+  return p;
+}
+
+/// Core-hour charge for a phase on the modeled Titan partition:
+/// nodes × hours × 30 (the paper's charging policy).
+inline double titan_core_hours(int nodes, double seconds) {
+  return nodes * (seconds / 3600.0) * 30.0;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s; downscaled, shapes comparable, "
+              "absolute numbers machine-local)\n\n",
+              what, paper_ref);
+}
+
+}  // namespace bench_common

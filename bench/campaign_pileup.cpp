@@ -1,0 +1,97 @@
+// The production campaign shape: one co-scheduled analysis job per
+// timestep (Table 4 caption; §3.2's "pile-up" discussion).
+//
+// Part 1 runs a REAL multi-step campaign: the simulation job steps through
+// snapshots while the Listener launches overlapping analysis jobs — the
+// measured overlap and turnaround demonstrate co-scheduling working, not a
+// model of it. Part 2 scales the queue question to the paper's regime with
+// the batch simulator: 100 snapshots' analysis jobs on Titan (2 small jobs
+// at a time — pile-up) vs on Rhea (ample small-job capacity), the exact
+// facility trade-off §3.2 walks through.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/campaign.h"
+#include "sched/batch_scheduler.h"
+
+using namespace cosmo;
+
+int main() {
+  bench_common::print_header(
+      "Campaign — co-scheduled analysis of a snapshot sequence",
+      "Table 4 caption / §3.2 (per-timestep jobs, pile-up)");
+
+  core::CampaignConfig cfg;
+  cfg.base.universe.box = 40.0;
+  cfg.base.universe.seed = 1001;
+  cfg.base.universe.halo_count = 30;
+  cfg.base.universe.min_particles = 60;
+  cfg.base.universe.max_particles = 8000;
+  cfg.base.universe.background_particles = 4000;
+  cfg.base.universe.subclump_fraction = 0.0;
+  cfg.base.ranks = 4;
+  cfg.base.analysis_ranks = 2;
+  cfg.base.linking_length = 0.32;
+  cfg.base.overload = 3.0;
+  cfg.base.threshold = 400;
+  cfg.base.compute_so_mass = false;
+  cfg.base.workdir = std::filesystem::temp_directory_path() /
+                     ("campaign_bench_" + std::to_string(::getpid()));
+  cfg.timesteps = 5;
+  cfg.growth_per_step = 1.5;
+
+  auto r = core::run_campaign(cfg);
+  std::filesystem::remove_all(cfg.base.workdir);
+
+  TextTable t({"step", "in-situ analysis (s)", "off-line analysis (s)",
+               "deferred halos", "job turnaround (s)", "halos"});
+  for (const auto& s : r.steps)
+    t.add_row({std::to_string(s.step), TextTable::num(s.insitu_analysis_s, 3),
+               TextTable::num(s.offline_analysis_s, 3),
+               std::to_string(s.deferred_halos),
+               TextTable::num(s.trigger_to_done_s, 3),
+               std::to_string(s.catalog.size())});
+  t.print(std::cout);
+  std::printf(
+      "\ncampaign wall-clock %.2f s vs simulation job %.2f s — analysis "
+      "overlapped the run\n"
+      "(max %zu analysis jobs in flight; listener: %llu triggers / %llu "
+      "polls)\n",
+      r.wall_clock_s, r.sim_job_s, r.max_concurrent_analysis,
+      static_cast<unsigned long long>(r.listener_triggers),
+      static_cast<unsigned long long>(r.listener_polls));
+
+  // Part 2: the 100-snapshot queue question at facility scale.
+  std::printf("\nfacility queue model — 100 analysis jobs (30 min each), one "
+              "per snapshot, submitted every 10 min during the run:\n");
+  TextTable q({"facility", "policy", "mean wait (s)", "max wait (s)",
+               "makespan (s)"});
+  auto run_queue = [&](sched::MachineProfile profile, const char* policy) {
+    sched::BatchScheduler cluster(std::move(profile));
+    std::vector<sched::JobId> ids;
+    for (int s = 0; s < 100; ++s)
+      ids.push_back(cluster.submit("analysis" + std::to_string(s), 4, 1800.0,
+                                   600.0 * s));
+    cluster.run_to_completion();
+    double mean = 0, worst = 0;
+    for (const auto id : ids) {
+      mean += cluster.job(id).wait_s();
+      worst = std::max(worst, cluster.job(id).wait_s());
+    }
+    mean /= static_cast<double>(ids.size());
+    q.add_row({cluster.profile().name, policy, TextTable::num(mean, 0),
+               TextTable::num(worst, 0), TextTable::num(cluster.makespan(), 0)});
+  };
+  run_queue(sched::MachineProfile::titan(), "2 small jobs at a time");
+  run_queue(sched::MachineProfile::rhea(), "unrestricted small jobs");
+  q.print(std::cout);
+
+  std::printf(
+      "\nshape to match (§3.2): on Titan the 2-small-job policy causes "
+      "pile-up (jobs queue behind each other) unless a queue exemption is "
+      "granted; on the designated analysis cluster the jobs start promptly "
+      "— 'even with some level of pile-up ... co-scheduling still allows "
+      "analysis to become an automated part of the simulation workflow.'\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates Figure 3: log-log halo counts vs mass at z = 0, split at the
+// in-situ/off-line threshold.
+//
+// The paper's plot shows the red histogram (halos fully analyzed in-situ,
+// 99.9% of 167,686,789 halos) against the blue one (84,719 halos off-loaded
+// to Moonlight above the 300,000-particle cut). We regenerate the same
+// split on a downscaled population with the same power-law character and
+// print both the figure series and the headline fractions. Only the halo
+// finder runs (the figure needs counts, not centers).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "halo/fof.h"
+#include "sim/synthetic.h"
+#include "stats/mass_function.h"
+
+using namespace cosmo;
+
+int main() {
+  bench_common::print_header("Figure 3 — split halo mass function at z=0",
+                             "Figure 3");
+
+  sim::SyntheticConfig ucfg;
+  ucfg.box = 48.0;
+  ucfg.seed = 333;
+  ucfg.halo_count = 1800;
+  ucfg.min_particles = 60;
+  ucfg.max_particles = 26000;
+  ucfg.background_particles = 3000;
+  ucfg.subclump_fraction = 0.0;
+
+  stats::HaloCatalog catalog;
+  comm::run_spmd(4, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;
+    auto u = sim::generate_synthetic(c, cosmo, ucfg);
+    sim::SlabDecomposition decomp(c.size(), ucfg.box);
+    halo::FofConfig fcfg;
+    fcfg.linking_length = 0.32;
+    fcfg.min_size = 40;
+    auto r = halo::fof_distributed(c, decomp, u.local, fcfg, 3.0);
+    stats::HaloCatalog part;
+    for (const auto& h : r.halos) {
+      stats::HaloRecord rec;
+      rec.id = h.id;
+      rec.count = h.members.size();
+      part.push_back(rec);
+    }
+    auto bytes = stats::catalog_to_bytes(part);
+    auto all = c.gatherv<std::byte>(bytes, 0);
+    if (c.rank() == 0) catalog = stats::catalog_from_bytes(all);
+  });
+
+  const std::uint64_t split = 1200;  // the downscaled 300,000
+  auto mf = stats::mass_function(catalog, split, 16, 30.0, 1e5);
+
+  TextTable t({"mass bin (particles)", "in-situ halos (red)",
+               "off-loaded halos (blue)", "log10(count+1)"});
+  for (std::size_t b = 0; b < mf.bin_lo.size(); ++b) {
+    char bin[64];
+    std::snprintf(bin, sizeof(bin), "[%.0f, %.0f)", mf.bin_lo[b], mf.bin_hi[b]);
+    const auto total = mf.in_situ[b] + mf.off_loaded[b];
+    t.add_row({bin, std::to_string(mf.in_situ[b]),
+               std::to_string(mf.off_loaded[b]),
+               TextTable::num(std::log10(static_cast<double>(total) + 1.0), 2)});
+  }
+  t.print(std::cout);
+
+  const double offload_fraction =
+      static_cast<double>(mf.total_off_loaded) /
+      static_cast<double>(mf.total_halos);
+  std::printf("\nhalos found: %llu;  off-loaded: %llu (%.2f%%);  analyzed "
+              "in-situ: %.2f%%\n",
+              static_cast<unsigned long long>(mf.total_halos),
+              static_cast<unsigned long long>(mf.total_off_loaded),
+              100.0 * offload_fraction, 100.0 * (1.0 - offload_fraction));
+  std::printf("paper reference: 167,686,789 halos, 84,719 off-loaded "
+              "(0.05%%); in-situ share 99.9%%.\n"
+              "shape to match: monotonically falling power law; the blue "
+              "(off-loaded) series is a tiny high-mass tail.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// google-benchmark microbenchmarks for the substrate layers: data-parallel
+// primitives on both backends (the PISTON portability claim), FFTs, k-d
+// tree construction, and FOF — the kernels whose costs drive every
+// workflow-level number in Tables 2–4.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "dpp/primitives.h"
+#include "fft/fft.h"
+#include "halo/center_finder.h"
+#include "halo/fof.h"
+#include "halo/kdtree.h"
+#include "sim/particles.h"
+#include "util/rng.h"
+
+using namespace cosmo;
+
+namespace {
+
+sim::ParticleSet clustered(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  sim::ParticleSet p;
+  const std::size_t blobs = 1 + n / 500;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<double>(i % blobs);
+    const double cx = 2.0 + std::fmod(b * 3.7, 28.0);
+    const double cy = 2.0 + std::fmod(b * 7.1, 28.0);
+    const double cz = 2.0 + std::fmod(b * 5.3, 28.0);
+    p.push_back(static_cast<float>(rng.normal(cx, 0.2)),
+                static_cast<float>(rng.normal(cy, 0.2)),
+                static_cast<float>(rng.normal(cz, 0.2)), 0, 0, 0,
+                static_cast<std::int64_t>(i));
+  }
+  return p;
+}
+
+void BM_Reduce(benchmark::State& state) {
+  const auto backend = static_cast<dpp::Backend>(state.range(0));
+  std::vector<double> v(static_cast<std::size_t>(state.range(1)));
+  Rng rng(1);
+  for (auto& x : v) x = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpp::reduce<double>(backend, v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_Reduce)
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16})
+    ->Args({0, 1 << 20})
+    ->Args({1, 1 << 20});
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const auto backend = static_cast<dpp::Backend>(state.range(0));
+  std::vector<std::uint64_t> v(static_cast<std::size_t>(state.range(1)), 3),
+      out(v.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpp::exclusive_scan<std::uint64_t>(backend, v, out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_ExclusiveScan)
+    ->Args({0, 1 << 18})
+    ->Args({1, 1 << 18});
+
+void BM_SortIndices(benchmark::State& state) {
+  const auto backend = static_cast<dpp::Backend>(state.range(0));
+  std::vector<std::uint32_t> keys(static_cast<std::size_t>(state.range(1)));
+  Rng rng(2);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng());
+  std::vector<std::uint32_t> idx;
+  for (auto _ : state) {
+    dpp::sort_indices_by_key<std::uint32_t>(backend, keys, idx);
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_SortIndices)->Args({0, 1 << 16})->Args({1, 1 << 16});
+
+void BM_Fft3dLocal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fft::Grid3 g(n, n, n);
+  Rng rng(3);
+  for (auto& c : g.flat()) c = fft::Complex(rng.normal(), 0.0);
+  for (auto _ : state) {
+    fft::fft_3d(g, false);
+    fft::fft_3d(g, true);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_Fft3dLocal)->Arg(16)->Arg(32);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  auto p = clustered(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto tree = halo::KdTree::over_all(p);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(50000);
+
+void BM_FofKdTree(benchmark::State& state) {
+  auto p = clustered(static_cast<std::size_t>(state.range(0)), 5);
+  halo::FofConfig cfg;
+  cfg.linking_length = 0.25;
+  cfg.min_size = 20;
+  for (auto _ : state) {
+    auto halos = halo::fof_find(p, halo::Periodicity::all(32.0), cfg);
+    benchmark::DoNotOptimize(halos.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FofKdTree)->Arg(5000)->Arg(20000);
+
+void BM_FofBruteForce(benchmark::State& state) {
+  auto p = clustered(static_cast<std::size_t>(state.range(0)), 5);
+  halo::FofConfig cfg;
+  cfg.linking_length = 0.25;
+  cfg.min_size = 20;
+  for (auto _ : state) {
+    auto halos = halo::fof_brute_force(p, halo::Periodicity::all(32.0), cfg);
+    benchmark::DoNotOptimize(halos.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FofBruteForce)->Arg(5000);
+
+void BM_CenterBrute(benchmark::State& state) {
+  const auto backend = static_cast<dpp::Backend>(state.range(0));
+  auto p = clustered(static_cast<std::size_t>(state.range(1)), 6);
+  std::vector<std::uint32_t> members(p.size());
+  std::iota(members.begin(), members.end(), 0u);
+  for (auto _ : state) {
+    auto r = halo::mbp_center_brute(backend, p, members, {});
+    benchmark::DoNotOptimize(r.particle);
+  }
+}
+BENCHMARK(BM_CenterBrute)->Args({0, 3000})->Args({1, 3000});
+
+void BM_KNearest(benchmark::State& state) {
+  auto p = clustered(20000, 7);
+  auto tree = halo::KdTree::over_all(p);
+  Rng rng(8);
+  for (auto _ : state) {
+    auto nn = tree.k_nearest(rng.uniform(0, 32), rng.uniform(0, 32),
+                             rng.uniform(0, 32), 20);
+    benchmark::DoNotOptimize(nn.size());
+  }
+}
+BENCHMARK(BM_KNearest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Regenerates Table 1: Level 1 / 2 / 3 data product sizes.
+//
+// Two columns of the paper's table are pure data-model arithmetic at the
+// production scales (1024³ and 8192³); we also measure the same quantities
+// on a real downscaled run through the combined workflow so the ratios
+// (Level 2 ≈ 20% of Level 1; Level 3 tiny) are demonstrated, not assumed.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/particles.h"
+
+using namespace cosmo;
+
+namespace {
+
+std::string human(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 5) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+  return buf;
+}
+
+void model_row(TextTable& t, const char* name, double np_per_dim,
+               double level2_fraction, double level3_bytes_per_halo,
+               double halos) {
+  const double n = np_per_dim * np_per_dim * np_per_dim;
+  const double l1 = n * sim::ParticleSet::kBytesPerParticle;
+  const double l2 = l1 * level2_fraction;
+  const double l3 = halos * level3_bytes_per_halo;
+  t.add_row({name, human(l1), human(l2), human(l3)});
+}
+
+}  // namespace
+
+int main() {
+  bench_common::print_header("Table 1 — Level 1/2/3 data product sizes",
+                             "Table 1");
+
+  TextTable model({"simulation (last step)", "Level 1 (raw particles)",
+                   "Level 2 (halo particles)", "Level 3 (halo centers)"});
+  // Paper: 1024³ → ~40 GB L1, ~5 GB L2, ~43 MB L3;
+  //        8192³ → ~20 TB L1, ~4 TB L2, ~10 GB L3.
+  // L2/L1 fractions implied: 0.125 (1024³) and 0.2 (8192³, the "factor of
+  // five" reduction). L3 sizing uses the catalog record cost per halo.
+  model_row(model, "1024^3 (model)", 1024.0, 0.125,
+            static_cast<double>(sizeof(stats::HaloRecord)), 1.1e6);
+  model_row(model, "8192^3 (model)", 8192.0, 0.20,
+            static_cast<double>(sizeof(stats::HaloRecord)), 167686789.0);
+  model.print(std::cout);
+
+  std::printf("\npaper reference: 1024^3 → ~40 GB / ~5 GB / ~43 MB;"
+              "  8192^3 → ~20 TB / ~4 TB / ~10 GB\n");
+
+  // Measured downscaled run through the combined workflow.
+  auto p = bench_common::table34_problem("table1");
+  const std::uint64_t total = sim::synthetic_total_particles(p.universe);
+  auto r = core::run_workflow(core::WorkflowKind::CombinedSimple, p);
+  const std::uint64_t l1 = total * sim::ParticleSet::kBytesPerParticle;
+
+  TextTable measured({"measured downscaled run", "Level 1", "Level 2",
+                      "Level 3", "L2/L1"});
+  measured.add_row({
+      std::to_string(total) + " particles",
+      human(static_cast<double>(l1)),
+      human(static_cast<double>(r.level2_bytes)),
+      human(static_cast<double>(r.level3_bytes)),
+      TextTable::num(static_cast<double>(r.level2_bytes) /
+                         static_cast<double>(l1),
+                     3),
+  });
+  std::printf("\n");
+  measured.print(std::cout);
+  std::printf("\nhalos: %" PRIu64 " total, %" PRIu64
+              " deferred past the threshold (their particles form Level 2)\n",
+              r.total_halos, r.deferred_halos);
+  std::filesystem::remove_all(p.workdir);
+  return 0;
+}

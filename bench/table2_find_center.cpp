@@ -1,0 +1,74 @@
+// Regenerates Table 2: slowest/fastest node times for halo identification
+// (Find) and center finding (Center) across the simulation's evolution.
+//
+// The paper's four rows (z = 1.68, 1.43, 0.959, 0) show Find staying well
+// balanced (max/min ≈ 1.2) while Center's imbalance explodes as clustering
+// grows — max/min reaching ~8800 at z = 0, where the largest halos live.
+// We emulate the redshift sequence with four synthetic universes of
+// increasing clustering (larger maximum halo mass as structure forms) and
+// report the measured per-rank extremes plus the paper's 0.55
+// Moonlight→Titan adjustment on the final row.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cosmo;
+
+namespace {
+
+struct Stage {
+  const char* slice;
+  const char* redshift;
+  std::size_t max_particles;  ///< clustering proxy: biggest halo so far
+  std::size_t halo_count;
+};
+
+}  // namespace
+
+int main() {
+  bench_common::print_header(
+      "Table 2 — Find/Center extremes across cosmic evolution", "Table 2");
+
+  // Structure formation: later slices have more and larger halos.
+  const Stage stages[] = {
+      {"60", "1.680", 1500, 40},
+      {"64", "1.433", 2800, 46},
+      {"73", "0.959", 7000, 52},
+      {"100", "0", 26000, 60},
+  };
+
+  TextTable t({"SLICE", "z", "Max Find", "Min Find", "Max Center",
+               "Min Center", "Find max/min", "Center max/min"});
+
+  for (const auto& s : stages) {
+    auto p = bench_common::table34_problem(std::string("table2_") + s.slice);
+    p.universe.max_particles = s.max_particles;
+    p.universe.halo_count = s.halo_count;
+    p.threshold = 0;  // full in-situ: expose the imbalance
+    auto r = core::run_workflow(core::WorkflowKind::InSitu, p);
+    std::filesystem::remove_all(p.workdir);
+
+    const auto& find = r.times.find_per_rank;
+    const auto& center = r.times.center_per_rank;
+    const double fmax = *std::max_element(find.begin(), find.end());
+    const double fmin = *std::min_element(find.begin(), find.end());
+    const double cmax = *std::max_element(center.begin(), center.end());
+    const double cmin = *std::min_element(center.begin(), center.end());
+    t.add_row({s.slice, s.redshift, TextTable::num(fmax, 3),
+               TextTable::num(fmin, 3), TextTable::num(cmax, 3),
+               TextTable::num(cmin, 4), TextTable::num(fmax / fmin, 1),
+               TextTable::num(cmax / std::max(cmin, 1e-6), 1)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\npaper reference (seconds on Titan/Moonlight):\n"
+      "  SLICE 60  z=1.680: Find 433/352,  Center   449/19\n"
+      "  SLICE 64  z=1.433: Find 483/385,  Center   668/19\n"
+      "  SLICE 73  z=0.959: Find 663/532,  Center  1819/19\n"
+      "  SLICE 100 z=0    : Find 2143/1859, Center 21250/2.4 (×0.55 adj.)\n"
+      "shape to match: Find max/min stays ~1.2; Center max/min grows by\n"
+      "orders of magnitude as the largest halos form.\n");
+  return 0;
+}

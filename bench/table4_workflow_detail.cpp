@@ -1,0 +1,115 @@
+// Regenerates Table 4: the detailed per-phase breakdown — Sim / Analysis /
+// Write on the simulation job and Queuing / Read / Redistribute / Analysis /
+// Write on the post-processing job — for the in-situ, off-line, and
+// combined workflows (with the co-scheduled and in-transit variations).
+//
+// Phase seconds are measured (max over ranks, like the paper's node
+// maxima). Queue waits come from the batch-cluster simulator: the off-line
+// post job needs the full partition and queues behind other large jobs,
+// while the combined variants' 2-node jobs fit immediately — and the
+// co-scheduled variant's jobs are submitted by the Listener while the
+// simulation still runs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sched/batch_scheduler.h"
+
+using namespace cosmo;
+using core::WorkflowKind;
+
+int main() {
+  bench_common::print_header("Table 4 — per-phase workflow detail", "Table 4");
+
+  TextTable t({"Workflow", "Sim", "Analysis", "Write", "Read", "Redist.",
+               "Post-analysis", "Post-write", "Sim job total",
+               "Post job total"});
+
+  struct Case {
+    WorkflowKind kind;
+    const char* label;
+  };
+  const Case cases[] = {
+      {WorkflowKind::InSitu, "in-situ only"},
+      {WorkflowKind::OffLine, "off-line only"},
+      {WorkflowKind::CombinedSimple, "combined (simple)"},
+      {WorkflowKind::CombinedCoScheduled, "combined (co-scheduled)"},
+      {WorkflowKind::CombinedInTransit, "combined (in-transit)"},
+  };
+
+  core::WorkflowResult results[5];
+  int idx = 0;
+  for (const auto& c : cases) {
+    auto p = bench_common::table34_problem(
+        std::string("t4_") + std::to_string(static_cast<int>(c.kind)));
+    auto r = core::run_workflow(c.kind, p);
+    std::filesystem::remove_all(p.workdir);
+    results[idx++] = r;
+    const auto& ph = r.times;
+    t.add_row({c.label, TextTable::num(ph.sim, 3), TextTable::num(ph.analysis, 3),
+               TextTable::num(ph.write, 3), TextTable::num(ph.read, 3),
+               TextTable::num(ph.redistribute, 3),
+               TextTable::num(ph.post_analysis, 3),
+               TextTable::num(ph.post_write, 4),
+               TextTable::num(ph.sim_total(), 3),
+               TextTable::num(ph.post_total(), 3)});
+  }
+  t.print(std::cout);
+
+  // Queueing: model the three strategies on a busy Titan-like machine.
+  // Background load: a stream of large jobs that an analysis job needing
+  // the full partition must wait behind.
+  std::printf("\nQueue-wait model (batch simulator, busy machine):\n");
+  TextTable q({"Workflow", "analysis job size", "submitted", "starts",
+               "queue wait (s)"});
+  const double sim_end = 1000.0;  // the main job's wall-clock
+  {
+    // Off-line: full-partition job, queued after the sim, behind a backlog.
+    sched::BatchScheduler titan(sched::MachineProfile::titan());
+    titan.submit("main-sim", 16384, sim_end, 0.0);
+    titan.submit("someone-elses-big-job", 12000, 3000.0, 100.0);
+    auto id = titan.submit("offline-analysis", 16384, 500.0, sim_end);
+    titan.run_to_completion();
+    q.add_row({"off-line", "16384 nodes", TextTable::num(sim_end, 0),
+               TextTable::num(titan.job(id).start_time, 0),
+               TextTable::num(titan.job(id).wait_s(), 0)});
+  }
+  {
+    // Combined simple: small job, still queued after the sim ends.
+    sched::BatchScheduler titan(sched::MachineProfile::titan());
+    titan.submit("main-sim", 16384, sim_end, 0.0);
+    titan.submit("someone-elses-big-job", 12000, 3000.0, 100.0);
+    auto id = titan.submit("small-analysis", 4, 500.0, sim_end);
+    titan.run_to_completion();
+    q.add_row({"combined (simple)", "4 nodes", TextTable::num(sim_end, 0),
+               TextTable::num(titan.job(id).start_time, 0),
+               TextTable::num(titan.job(id).wait_s(), 0)});
+  }
+  {
+    // Co-scheduled: the Listener submits the small job mid-simulation.
+    sched::BatchScheduler titan(sched::MachineProfile::titan());
+    titan.submit("main-sim", 16384, sim_end, 0.0);
+    titan.submit("someone-elses-big-job", 12000, 3000.0, 100.0);
+    const double trigger_time = 400.0;  // Level 2 file appears mid-run
+    auto id = titan.submit("cosched-analysis", 4, 500.0, trigger_time);
+    titan.run_to_completion();
+    q.add_row({"combined (co-scheduled)", "4 nodes",
+               TextTable::num(trigger_time, 0),
+               TextTable::num(titan.job(id).start_time, 0),
+               TextTable::num(titan.job(id).wait_s(), 0)});
+  }
+  q.print(std::cout);
+
+  std::printf(
+      "\nlistener during the co-scheduled run: %llu triggers seen over %llu "
+      "polls\n",
+      static_cast<unsigned long long>(results[3].listener_triggers),
+      static_cast<unsigned long long>(results[3].listener_polls));
+  std::printf(
+      "\npaper reference (seconds): in-situ 772/722/0.3; off-line "
+      "779/0/5 then 5/435/892/0.3; combined 774/361/3 then 3/75/1075/0.2.\n"
+      "shape to match: combined halves the in-situ analysis time (the\n"
+      "monster halo moves to the post job); off-line pays the largest\n"
+      "read+redistribute; in-transit drops the Level 2 read to ~0;\n"
+      "co-scheduled starts its analysis before the simulation ends.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Scenario: the co-scheduling machinery end to end (§3.2).
+//
+// A "simulation" produces a snapshot file (plus .done trigger) every few
+// hundred milliseconds. The Bellerophon-style Listener polls the output
+// directory at a much higher rate; each new trigger instantiates a batch
+// script from a template and submits an analysis job. A Titan-profile
+// batch simulator accounts for the queueing: the small analysis jobs run
+// two-at-a-time (Titan's <125-node policy) while the main job occupies its
+// partition — exactly the pile-up behaviour the paper discusses.
+//
+// Build & run:  ./build/examples/coscheduled_listener
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "io/aggregated.h"
+#include "io/cosmo_io.h"
+#include "sched/batch_scheduler.h"
+#include "sched/listener.h"
+#include "sim/particles.h"
+#include "util/rng.h"
+
+using namespace cosmo;
+using namespace std::chrono_literals;
+namespace fs = std::filesystem;
+
+int main() {
+  const fs::path outdir =
+      fs::temp_directory_path() / ("cosched_demo_" + std::to_string(::getpid()));
+  fs::create_directories(outdir);
+
+  sched::BatchScheduler titan(sched::MachineProfile::titan());
+  const double sim_walltime = 3600.0;
+  titan.submit("main-simulation", 16384, sim_walltime, 0.0);
+
+  sched::JobTemplate tmpl(
+      "#!/bin/bash\n"
+      "#PBS -l nodes=4\n"
+      "analysis_driver --input {file} --step {step}\n");
+
+  std::mutex mtx;
+  int step_counter = 0;
+  sched::Listener listener(
+      {outdir, ".done", 10ms},
+      [&](const fs::path& trigger) {
+        std::lock_guard lock(mtx);
+        const int step = step_counter++;
+        const auto script = tmpl.instantiate(
+            {{"file", trigger.stem().string()},
+             {"step", std::to_string(step)}});
+        // Submit mid-simulation: trigger time maps onto the sim's timeline.
+        const double submit_t = 300.0 * (step + 1);
+        titan.submit("analysis-step" + std::to_string(step), 4, 900.0,
+                     submit_t);
+        std::printf("listener: trigger %s -> submitted 4-node job at "
+                    "t=%.0fs\n  script: %s",
+                    trigger.filename().c_str(), submit_t, script.c_str());
+      });
+  listener.start();
+
+  // The "simulation": write a real snapshot + trigger per timestep.
+  Rng rng(7);
+  for (int step = 0; step < 5; ++step) {
+    const auto file = outdir / ("snap." + std::to_string(step) + ".cosmo");
+    sim::ParticleSet p;
+    for (int i = 0; i < 1000; ++i)
+      p.push_back(static_cast<float>(rng.uniform(0, 64)),
+                  static_cast<float>(rng.uniform(0, 64)),
+                  static_cast<float>(rng.uniform(0, 64)), 0, 0, 0, i);
+    io::CosmoIoWriter w(file, {64.0, 1.0, 1000, 0});
+    w.write_block(p, 0);
+    w.finalize();
+    std::ofstream(io::trigger_path(file)) << "ok\n";
+    std::this_thread::sleep_for(60ms);
+  }
+  listener.wait_for_triggers(5, 5000ms);
+  listener.stop();
+
+  titan.run_to_completion();
+  std::printf("\nqueue outcome on Titan (policy: max 2 jobs under 125 "
+              "nodes):\n");
+  for (std::size_t j = 0; j < titan.job_count(); ++j) {
+    const auto& job = titan.job(static_cast<sched::JobId>(j));
+    std::printf("  %-22s %6d nodes  submit %6.0f  start %6.0f  wait %6.0f\n",
+                job.name.c_str(), job.nodes, job.submit_time, job.start_time,
+                job.wait_s());
+  }
+  std::printf("\nlistener stats: %llu polls, %llu triggers (poll rate >> "
+              "output rate, as §3.2 prescribes)\n",
+              static_cast<unsigned long long>(listener.stats().polls),
+              static_cast<unsigned long long>(listener.stats().triggers));
+  std::printf("note the pile-up: jobs 3+ wait for a small-job slot while "
+              "the simulation is still running.\n");
+  fs::remove_all(outdir);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: run a small cosmological simulation with in-situ analysis.
+//
+// This is the paper's basic setup (§3): HACC's timestep loop instrumented
+// with CosmoTools. We build a 32³ particle-mesh simulation on 2 ranks,
+// register the halo pipeline and the power-spectrum tool, configure them
+// from a CosmoTools config string (in production this file is referenced
+// from the simulation's input deck), and let the driver call the analysis
+// manager at the requested cadence.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "comm/comm.h"
+#include "core/algorithms.h"
+#include "core/cosmotools.h"
+#include "sim/cosmology.h"
+#include "sim/simulation.h"
+
+using namespace cosmo;
+
+int main() {
+  const int ranks = 2;
+  std::printf("quickstart: 32^3 PM simulation on %d ranks, z=20 -> z=0, "
+              "in-situ analysis every 4 steps\n\n", ranks);
+
+  comm::run_spmd(ranks, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;  // WMAP-7-like ΛCDM
+
+    sim::SimulationConfig scfg;
+    scfg.ic.ng = 32;
+    scfg.ic.box = 64.0;       // Mpc/h
+    scfg.ic.z_init = 20.0;
+    scfg.ic.seed = 2015;
+    scfg.z_final = 0.0;
+    scfg.steps = 16;
+    sim::Simulation simulation(c, cosmo, scfg);
+
+    // CosmoTools: the manager is the one object the simulation talks to.
+    sim::SlabDecomposition decomp(c.size(), scfg.ic.box);
+    core::InSituAnalysisManager manager(
+        c, decomp, scfg.ic.box,
+        static_cast<std::uint64_t>(simulation.global_particles()));
+    manager.add(std::make_unique<core::PowerSpectrumAlgorithm>());
+    core::register_halo_pipeline(manager);
+    manager.configure(core::CosmoToolsConfig::parse(R"(
+[powerspectrum]
+cadence 4
+grid 32
+bins 8
+
+[halofinder]
+cadence 4
+linking_length 0.4
+min_size 20
+overload 2.0
+
+[centerfinder]
+cadence 4
+threshold 0
+
+[somass]
+cadence 4
+delta 200
+
+[subhalos]
+enabled false
+)"));
+
+    // The simulation drives; CosmoTools analyzes in place (zero copy).
+    simulation.run([&](const sim::StepContext& step,
+                       sim::ParticleSet& particles) {
+      auto ctx = manager.execute_step(step, particles);
+      if (ctx.spectra.empty()) return;  // nothing ran this step
+
+      const auto halos = c.allreduce_value<std::uint64_t>(
+          ctx.catalog.size(), comm::ReduceOp::Sum);
+      std::uint64_t biggest = 0;
+      for (const auto& rec : ctx.catalog) biggest = std::max(biggest, rec.count);
+      biggest = c.allreduce_value(biggest, comm::ReduceOp::Max);
+
+      if (c.rank() == 0) {
+        std::printf("step %2zu  z=%5.2f  halos=%llu  largest=%llu\n",
+                    step.step, step.z,
+                    static_cast<unsigned long long>(halos),
+                    static_cast<unsigned long long>(biggest));
+        const auto& ps = ctx.spectra.back();
+        std::printf("         P(k): ");
+        for (std::size_t b = 0; b < ps.k.size() && b < 4; ++b)
+          std::printf("P(%.2f)=%.1f  ", ps.k[b], ps.power[b]);
+        std::printf("\n");
+      }
+    });
+
+    if (c.rank() == 0) {
+      std::printf("\ntotal in-situ analysis time on rank 0: %.2f s\n",
+                  manager.total_seconds());
+      std::printf("structure grew: halo counts and P(k) amplitude rise "
+                  "toward z=0, as they should.\n");
+    }
+  });
+  return 0;
+}

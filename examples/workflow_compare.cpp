@@ -1,0 +1,90 @@
+// Scenario: planning an analysis campaign for a simulation with rare,
+// massive clusters (the paper's Q Continuum situation, downscaled).
+//
+// The public workflow API runs the same snapshot through the pure in-situ,
+// pure off-line, and combined in-situ/off-line strategies; then the split
+// auto-tuner (§4.1) recommends the threshold and the co-scheduled job size
+// from this machine's measured center-finder cost model.
+//
+// Build & run:  ./build/examples/workflow_compare
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "core/machine_model.h"
+#include "core/split_tuner.h"
+#include "core/workflows.h"
+#include "halo/center_finder.h"
+#include "util/timer.h"
+
+using namespace cosmo;
+using core::WorkflowKind;
+
+int main() {
+  core::WorkflowProblem p;
+  p.universe.box = 48.0;
+  p.universe.seed = 99;
+  p.universe.halo_count = 50;
+  p.universe.min_particles = 60;
+  p.universe.max_particles = 15000;  // one rare monster cluster
+  p.universe.background_particles = 8000;
+  p.universe.subclump_fraction = 0.0;
+  p.ranks = 4;
+  p.analysis_ranks = 2;
+  p.linking_length = 0.32;
+  p.overload = 3.0;
+  p.threshold = 800;
+  p.workdir = std::filesystem::temp_directory_path() /
+              ("wf_compare_" + std::to_string(::getpid()));
+
+  std::printf("comparing workflows on a %llu-particle snapshot "
+              "(one rare massive cluster)...\n\n",
+              static_cast<unsigned long long>(
+                  sim::synthetic_total_particles(p.universe)));
+
+  for (const auto kind :
+       {WorkflowKind::InSitu, WorkflowKind::OffLine,
+        WorkflowKind::CombinedSimple}) {
+    auto r = core::run_workflow(kind, p);
+    const auto& ph = r.times;
+    std::printf("%-28s analysis %6.2fs  io(w/r) %5.2f/%5.2fs  redist %5.2fs  "
+                "post %6.2fs  halos %llu (deferred %llu)\n",
+                core::to_string(kind), ph.analysis, ph.write, ph.read,
+                ph.redistribute, ph.post_analysis,
+                static_cast<unsigned long long>(r.total_halos),
+                static_cast<unsigned long long>(r.deferred_halos));
+  }
+  std::filesystem::remove_all(p.workdir);
+
+  // Would the auto-tuner have picked a similar split?
+  std::printf("\nsplit auto-tuner recommendation:\n");
+  auto cost = core::calibrate_center_cost(
+      [&](std::uint64_t n) {
+        Rng rng(1);
+        sim::ParticleSet halo;
+        for (std::uint64_t i = 0; i < n; ++i)
+          halo.push_back(static_cast<float>(rng.normal(5, 0.3)),
+                         static_cast<float>(rng.normal(5, 0.3)),
+                         static_cast<float>(rng.normal(5, 0.3)), 0, 0, 0,
+                         static_cast<std::int64_t>(i));
+        std::vector<std::uint32_t> members(halo.size());
+        std::iota(members.begin(), members.end(), 0u);
+        WallTimer t;
+        halo::mbp_center_brute(dpp::Backend::ThreadPool, halo, members, {});
+        return t.seconds();
+      },
+      3000);
+  std::vector<std::uint64_t> sizes{100, 300, 900, 2500, 15000};
+  auto d = core::tune_split(sim::synthetic_total_particles(p.universe), sizes,
+                            io::FilesystemModel::analysis_cluster(),
+                            io::InterconnectModel{1e9, 0.1}, cost);
+  std::printf("  t_io=%.2fs  m_max_io=%llu  largest=%llu  -> %s\n", d.t_io_s,
+              static_cast<unsigned long long>(d.m_max_io),
+              static_cast<unsigned long long>(d.largest_halo),
+              d.all_in_situ ? "analyze everything in-situ"
+                            : "off-load the largest halos");
+  if (!d.all_in_situ)
+    std::printf("  co-scheduled job size: %llu ranks\n",
+                static_cast<unsigned long long>(d.coschedule_ranks));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Machine models and the Q Continuum cost accounting (§4.1).
+//
+// The paper's headline number — the combined workflow is 6.5× cheaper than
+// a pure in-situ/off-line analysis of the Q Continuum's final snapshot —
+// comes from an explicit accounting over machine parameters (Titan's
+// 30 core-hours/node-hour charge, the 0.55 Titan/Moonlight speed ratio, the
+// ~50× GPU/CPU center-finder speedup) and measured per-task times. This
+// module encodes that accounting as a deterministic calculation so the
+// bench can regenerate it from the published parameters and from our own
+// calibrated kernel costs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/split_tuner.h"
+#include "sched/batch_scheduler.h"
+#include "util/error.h"
+
+namespace cosmo::core {
+
+/// Parameters of the Q Continuum final-snapshot analysis (§4.1).
+struct QContinuumScenario {
+  std::uint64_t particles = 549755813888ull;  ///< 8192³
+  int sim_nodes = 16384;
+  double charge_per_node_hour = 30.0;   ///< Titan
+  double halo_finding_hours = 1.0;      ///< "approximately one hour"
+  double small_center_minutes = 1.1;    ///< "just over one minute"
+  double offline_node_hours_moonlight = 1770.0;
+  double titan_over_moonlight = 0.55;   ///< Titan time = 0.55 × Moonlight
+  double slowest_block_hours = 5.9;     ///< drives the full in-situ cost
+  double small_medium_core_hours = 0.5e6;  ///< halo finding + small centers
+  double io_redistribute_core_hours = 0.16e6;  ///< per analysis step
+};
+
+struct QContinuumAccounting {
+  double combined_core_hours = 0.0;   ///< the workflow the paper ran
+  double insitu_only_core_hours = 0.0;  ///< slowest-block-bound alternative
+  double cost_ratio = 0.0;            ///< in-situ-only / combined (≈ 6.5)
+  double offline_core_hours = 0.0;    ///< Titan-equivalent off-load cost
+};
+
+/// Reproduces the §4.1 arithmetic.
+inline QContinuumAccounting qcontinuum_accounting(const QContinuumScenario& s) {
+  QContinuumAccounting a;
+  // Off-loaded center finding: 1770 Moonlight node-hours → ×0.55 on Titan
+  // → ~985 node-hours → ~30k core-hours at 30 cores*/node-hour.
+  const double titan_node_hours =
+      s.offline_node_hours_moonlight * s.titan_over_moonlight;
+  a.offline_core_hours = titan_node_hours * s.charge_per_node_hour;
+  // Combined = 0.5M (halo finding + small/medium centers) + off-load.
+  a.combined_core_hours = s.small_medium_core_hours + a.offline_core_hours;
+  // Full in-situ (or off-line): bounded by the slowest block, plus halo
+  // identification, on all 16,384 nodes.
+  a.insitu_only_core_hours = (s.slowest_block_hours + s.halo_finding_hours) *
+                             s.sim_nodes * s.charge_per_node_hour;
+  a.cost_ratio = a.insitu_only_core_hours / a.combined_core_hours;
+  return a;
+}
+
+/// Projects a measured local kernel time onto a target machine: the paper's
+/// machine-to-machine scalings are pure multiplicative factors
+/// (GPU ≈ 50× CPU for the PISTON center finder; Titan = 0.55 × Moonlight).
+struct SpeedupModel {
+  double gpu_over_cpu = 50.0;      ///< §4.1: "approximately a factor of fifty"
+  double astar_over_brute = 8.0;   ///< §3.3.2: A* ≈ 8× serial brute force
+
+  double project(double local_seconds, double local_speed,
+                 double target_speed) const {
+    COSMO_REQUIRE(local_speed > 0.0 && target_speed > 0.0,
+                  "machine speeds must be positive");
+    return local_seconds * local_speed / target_speed;
+  }
+};
+
+}  // namespace cosmo::core

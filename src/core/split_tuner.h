@@ -1,0 +1,124 @@
+// Automated in-situ/off-line split selection and co-scheduling job sizing
+// (§4.1, final paragraphs).
+//
+// The paper chose the 300,000-particle threshold manually and sketched how
+// to automate it:
+//   1. estimate t_io, the I/O (+redistribution) time an off-line analysis
+//      would pay, from the total particle count;
+//   2. invert the center-finder cost model t(n) = c·n² to find m_max_io,
+//      the largest halo analyzable in less than t_io;
+//   3. if the largest halo found in-situ exceeds m_max_io, save out all
+//      halos above the threshold for off-line center finding;
+//   4. size the co-scheduled job as T / t_max ranks (total work over the
+//      largest single halo's work) and distribute halos so each rank gets
+//      roughly equal workload.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "io/fs_model.h"
+#include "sim/particles.h"
+#include "util/error.h"
+
+namespace cosmo::core {
+
+/// Center-finder cost model: t(n) = coeff · n² seconds. The coefficient is
+/// machine- and implementation-specific; calibrate_center_cost() measures
+/// it for this build.
+struct CenterCostModel {
+  double coeff = 1e-9;
+
+  double seconds(std::uint64_t n) const {
+    return coeff * static_cast<double>(n) * static_cast<double>(n);
+  }
+
+  /// Largest halo analyzable within `budget_s` seconds.
+  std::uint64_t max_halo_within(double budget_s) const {
+    COSMO_REQUIRE(coeff > 0.0, "cost coefficient must be positive");
+    if (budget_s <= 0.0) return 0;
+    return static_cast<std::uint64_t>(std::sqrt(budget_s / coeff));
+  }
+};
+
+struct SplitDecision {
+  double t_io_s = 0.0;            ///< estimated off-line I/O+redistribution
+  std::uint64_t m_max_io = 0;     ///< threshold implied by t_io
+  std::uint64_t largest_halo = 0;
+  bool all_in_situ = false;       ///< m_max_sim ≤ m_max_io → no split needed
+  std::uint64_t threshold = 0;    ///< halos above this go off-line
+  double total_offline_work_s = 0.0;  ///< T
+  double largest_halo_work_s = 0.0;   ///< t_max
+  std::size_t coschedule_ranks = 0;   ///< ceil(T / t_max)
+};
+
+/// Decides the split for one snapshot's halo population.
+inline SplitDecision tune_split(std::uint64_t total_particles,
+                                const std::vector<std::uint64_t>& halo_sizes,
+                                const io::FilesystemModel& fs,
+                                const io::InterconnectModel& net,
+                                const CenterCostModel& cost) {
+  SplitDecision d;
+  const std::uint64_t level1_bytes =
+      total_particles * sim::ParticleSet::kBytesPerParticle;
+  // Off-line analysis pays: write by the sim, read by the analysis job,
+  // then redistribution.
+  d.t_io_s = fs.write_seconds(level1_bytes) + fs.read_seconds(level1_bytes) +
+             net.redistribute_seconds(level1_bytes);
+  d.m_max_io = cost.max_halo_within(d.t_io_s);
+  for (const auto n : halo_sizes) d.largest_halo = std::max(d.largest_halo, n);
+  d.all_in_situ = d.largest_halo <= d.m_max_io;
+  d.threshold = d.m_max_io;
+  if (d.all_in_situ) return d;
+
+  for (const auto n : halo_sizes) {
+    if (n <= d.threshold) continue;
+    d.total_offline_work_s += cost.seconds(n);
+  }
+  d.largest_halo_work_s = cost.seconds(d.largest_halo);
+  d.coschedule_ranks = static_cast<std::size_t>(
+      std::ceil(d.total_offline_work_s / d.largest_halo_work_s));
+  if (d.coschedule_ranks == 0) d.coschedule_ranks = 1;
+  return d;
+}
+
+/// LPT (longest-processing-time) assignment of halos to ranks so "each rank
+/// has roughly the same workload (estimated again from halo masses)".
+/// Returns per-rank lists of indices into halo_sizes.
+inline std::vector<std::vector<std::uint32_t>> balance_halos(
+    const std::vector<std::uint64_t>& halo_sizes, std::size_t ranks,
+    const CenterCostModel& cost) {
+  COSMO_REQUIRE(ranks >= 1, "need at least one rank");
+  std::vector<std::uint32_t> order(halo_sizes.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return halo_sizes[a] > halo_sizes[b];
+  });
+  std::vector<std::vector<std::uint32_t>> assignment(ranks);
+  std::vector<double> load(ranks, 0.0);
+  for (const auto h : order) {
+    const auto r = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[r].push_back(h);
+    load[r] += cost.seconds(halo_sizes[h]);
+  }
+  return assignment;
+}
+
+/// Measures the O(n²) center-finder coefficient on this machine by timing a
+/// single potential sweep (see bench/ for full calibration).
+template <typename TimeOneHalo>
+CenterCostModel calibrate_center_cost(TimeOneHalo&& time_one_halo,
+                                      std::uint64_t sample_size) {
+  CenterCostModel m;
+  const double t = time_one_halo(sample_size);
+  m.coeff = t / (static_cast<double>(sample_size) *
+                 static_cast<double>(sample_size));
+  COSMO_REQUIRE(m.coeff > 0.0, "calibration produced a non-positive cost");
+  return m;
+}
+
+}  // namespace cosmo::core

@@ -1,0 +1,73 @@
+// Static (CRTP-style) analysis pipeline — the paper's §3.1 footnote made
+// real.
+//
+// "There is a very small overhead for the virtual function calls, which
+// could in principle be avoided by using the Curiously Recurring Template
+// Pattern." This header provides that alternative: algorithms implement the
+// same SetParameters / ShouldExecute / Execute interface as compile-time
+// members (no virtual dispatch); StaticPipeline<Algos...> stores them by
+// value in a tuple and unrolls the per-step loop at compile time. Any
+// InSituAlgorithm subclass already satisfies the implicit interface, so the
+// two styles can share algorithm implementations.
+//
+// The ablation bench (bench/ablation_dispatch.cpp) measures the difference
+// the paper alludes to.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <utility>
+
+#include "core/cosmotools.h"
+
+namespace cosmo::core {
+
+/// Compile-time analysis pipeline over a fixed algorithm list.
+template <typename... Algorithms>
+class StaticPipeline {
+ public:
+  StaticPipeline() = default;
+  explicit StaticPipeline(Algorithms... algorithms)
+      : algorithms_(std::move(algorithms)...) {}
+
+  static constexpr std::size_t size() { return sizeof...(Algorithms); }
+
+  /// Configures each algorithm from its own config section (by Name()).
+  void configure(const CosmoToolsConfig& config) {
+    std::apply(
+        [&](auto&... algorithm) {
+          (algorithm.SetParameters(config.section(algorithm.Name())), ...);
+        },
+        algorithms_);
+  }
+
+  /// Runs every due algorithm in declaration order; statically dispatched.
+  void execute_step(const sim::StepContext& step, AnalysisContext& ctx) {
+    std::apply(
+        [&](auto&... algorithm) {
+          (run_one(algorithm, step, ctx), ...);
+        },
+        algorithms_);
+  }
+
+  /// Access an algorithm by type (for reading results back).
+  template <typename T>
+  T& get() {
+    return std::get<T>(algorithms_);
+  }
+  template <typename T>
+  const T& get() const {
+    return std::get<T>(algorithms_);
+  }
+
+ private:
+  template <typename T>
+  static void run_one(T& algorithm, const sim::StepContext& step,
+                      AnalysisContext& ctx) {
+    if (algorithm.ShouldExecute(step)) algorithm.Execute(step, ctx);
+  }
+
+  std::tuple<Algorithms...> algorithms_;
+};
+
+}  // namespace cosmo::core

@@ -1,0 +1,58 @@
+// Computational steering: live reconfiguration of the in-situ analysis.
+//
+// The paper's CosmoTools is "easily configurable in the problem setup, even
+// while the simulation is running for computational steering" (§3.1). The
+// SteeringFile watches the CosmoTools config file between timesteps; when
+// the scientist edits it (changing a cadence, enabling a tool, moving the
+// split threshold), the manager is reconfigured before the next analysis
+// step — no restart of the simulation.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/cosmotools.h"
+#include "util/error.h"
+
+namespace cosmo::core {
+
+class SteeringFile {
+ public:
+  explicit SteeringFile(std::filesystem::path path) : path_(std::move(path)) {}
+
+  const std::filesystem::path& path() const { return path_; }
+  std::uint64_t reload_count() const { return reloads_; }
+
+  /// Checks the file's modification time; if it changed since the last
+  /// check (or this is the first check and the file exists), re-parses it
+  /// and reconfigures the manager. Returns true when a reload happened.
+  /// A malformed edit throws — the simulation should surface the error and
+  /// keep running with the previous configuration, so the parse happens
+  /// before any state is touched.
+  bool poll(InSituAnalysisManager& manager) {
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path_, ec);
+    if (ec) return false;  // file absent: keep the current configuration
+    if (seen_any_ && mtime == last_mtime_) return false;
+    std::ifstream in(path_);
+    COSMO_REQUIRE(in.good(), "cannot read steering file: " + path_.string());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    // Parse first (throws on malformed input), reconfigure second.
+    CosmoToolsConfig config = CosmoToolsConfig::parse(buffer.str());
+    manager.configure(config);
+    last_mtime_ = mtime;
+    seen_any_ = true;
+    ++reloads_;
+    return true;
+  }
+
+ private:
+  std::filesystem::path path_;
+  std::filesystem::file_time_type last_mtime_{};
+  bool seen_any_ = false;
+  std::uint64_t reloads_ = 0;
+};
+
+}  // namespace cosmo::core

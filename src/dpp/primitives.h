@@ -1,0 +1,278 @@
+// Data-parallel primitives — the PISTON/Thrust stand-in.
+//
+// Single-source portable algorithms: every analysis kernel (MBP potential
+// sums, CIC deposits, histogram reductions) is written once against these
+// primitives and executed on either backend. The Backend value plays the
+// role of Thrust's execution policy; Serial is the reference implementation
+// and ThreadPool is the "accelerator".
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dpp/thread_pool.h"
+#include "util/error.h"
+
+namespace cosmo::dpp {
+
+enum class Backend {
+  Serial,      ///< reference single-thread execution
+  ThreadPool,  ///< many-core stand-in (process-wide worker pool)
+};
+
+inline const char* to_string(Backend b) {
+  return b == Backend::Serial ? "serial" : "threadpool";
+}
+
+namespace detail {
+template <typename Fn>
+void for_each_range(Backend b, std::size_t n, Fn&& fn) {
+  if (b == Backend::Serial || n == 0) {
+    if (n != 0) fn(std::size_t{0}, n);
+    return;
+  }
+  ThreadPool::instance().parallel_for(n, fn);
+}
+}  // namespace detail
+
+/// out[i] = fn(i) for i in [0, n). The index-based form subsumes
+/// transform/zip/counting-iterator compositions without iterator machinery.
+template <typename T, typename Fn>
+void tabulate(Backend b, std::span<T> out, Fn fn) {
+  detail::for_each_range(b, out.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i);
+  });
+}
+
+/// Calls fn(i) for each i in [0, n); fn must be data-race free across i.
+template <typename Fn>
+void for_each_index(Backend b, std::size_t n, Fn fn) {
+  detail::for_each_range(b, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// Reduction of fn(i) over [0, n) with a commutative+associative op.
+template <typename T, typename Fn, typename Op>
+T transform_reduce(Backend b, std::size_t n, T init, Op op, Fn fn) {
+  if (b == Backend::Serial || n == 0) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) acc = op(acc, fn(i));
+    return acc;
+  }
+  auto& pool = ThreadPool::instance();
+  std::vector<T> partial(pool.workers() + 1, init);
+  std::atomic<std::size_t> next_slot{0};
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    T acc = init;
+    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, fn(i));
+    partial[next_slot.fetch_add(1)] = acc;
+  });
+  T acc = init;
+  for (std::size_t s = 0; s < next_slot.load(); ++s) acc = op(acc, partial[s]);
+  return acc;
+}
+
+/// Sum reduction over a span.
+template <typename T>
+T reduce(Backend b, std::span<const T> in, T init = T{}) {
+  return transform_reduce(
+      b, in.size(), init, [](T a, T v) { return a + v; },
+      [&](std::size_t i) { return in[i]; });
+}
+
+/// Index of the minimum of fn(i) over [0, n); ties break to the lowest
+/// index so results are backend-independent. This is the key primitive for
+/// the MBP center finder (argmin of potential).
+template <typename Fn>
+std::size_t argmin(Backend b, std::size_t n, Fn fn) {
+  COSMO_REQUIRE(n > 0, "argmin of empty range");
+  using V = decltype(fn(std::size_t{0}));
+  struct Best {
+    V value;
+    std::size_t index;
+  };
+  auto better = [](const Best& a, const Best& c) {
+    if (c.value < a.value) return c;
+    if (c.value == a.value && c.index < a.index) return c;
+    return a;
+  };
+  Best init{std::numeric_limits<V>::max(), std::numeric_limits<std::size_t>::max()};
+  Best r = transform_reduce(
+      b, n, init, better, [&](std::size_t i) { return Best{fn(i), i}; });
+  return r.index;
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the total.
+/// Two-pass block scan on the pool backend (scan-then-propagate).
+template <typename T>
+T exclusive_scan(Backend b, std::span<const T> in, std::span<T> out) {
+  COSMO_REQUIRE(in.size() == out.size(), "scan size mismatch");
+  const std::size_t n = in.size();
+  if (n == 0) return T{};
+  if (b == Backend::Serial) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = in[i];  // allow in == out aliasing
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  auto& pool = ThreadPool::instance();
+  const std::size_t nw = pool.workers();
+  const std::size_t chunk = (n + nw - 1) / nw;
+  std::vector<T> block_sum(nw + 1, T{});
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
+    block_sum[lo / chunk] = acc;
+  });
+  T total{};
+  std::vector<T> block_off(nw + 1, T{});
+  for (std::size_t w = 0; w < nw; ++w) {
+    block_off[w] = total;
+    total += block_sum[w];
+  }
+  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    T acc = block_off[lo / chunk];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const T v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+  });
+  return total;
+}
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i]. Returns the total.
+template <typename T>
+T inclusive_scan(Backend b, std::span<const T> in, std::span<T> out) {
+  const T total = exclusive_scan(b, in, out);
+  // out[i] currently holds the exclusive sum; add in[i] back.
+  for_each_index(b, in.size(), [&](std::size_t i) { out[i] += in[i]; });
+  return total;
+}
+
+/// out[i] = in[map[i]].
+template <typename T, typename I>
+void gather(Backend b, std::span<const T> in, std::span<const I> map,
+            std::span<T> out) {
+  COSMO_REQUIRE(map.size() == out.size(), "gather size mismatch");
+  for_each_index(b, map.size(), [&](std::size_t i) {
+    out[i] = in[static_cast<std::size_t>(map[i])];
+  });
+}
+
+/// out[map[i]] = in[i]; map must be a permutation-like injection.
+template <typename T, typename I>
+void scatter(Backend b, std::span<const T> in, std::span<const I> map,
+             std::span<T> out) {
+  COSMO_REQUIRE(map.size() == in.size(), "scatter size mismatch");
+  for_each_index(b, map.size(), [&](std::size_t i) {
+    out[static_cast<std::size_t>(map[i])] = in[i];
+  });
+}
+
+/// Stable sort of `index` (a permutation of [0,n)) by keys[index[i]].
+/// Parallel backend: per-chunk sorts followed by log2 rounds of pairwise
+/// inplace_merge.
+template <typename K>
+void sort_indices_by_key(Backend b, std::span<const K> keys,
+                         std::vector<std::uint32_t>& index) {
+  const std::size_t n = keys.size();
+  index.resize(n);
+  for (std::size_t i = 0; i < n; ++i) index[i] = static_cast<std::uint32_t>(i);
+  auto cmp = [&](std::uint32_t a, std::uint32_t c) { return keys[a] < keys[c]; };
+  if (b == Backend::Serial || n < 4096) {
+    std::stable_sort(index.begin(), index.end(), cmp);
+    return;
+  }
+  auto& pool = ThreadPool::instance();
+  const std::size_t nw = pool.workers();
+  const std::size_t chunk = (n + nw - 1) / nw;
+  // Phase 1: sort each chunk independently.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  for (std::size_t lo = 0; lo < n; lo += chunk)
+    runs.emplace_back(lo, std::min(lo + chunk, n));
+  for_each_index(b, runs.size(), [&](std::size_t r) {
+    std::stable_sort(index.begin() + static_cast<std::ptrdiff_t>(runs[r].first),
+                     index.begin() + static_cast<std::ptrdiff_t>(runs[r].second),
+                     cmp);
+  });
+  // Phase 2: pairwise merges until one run remains.
+  while (runs.size() > 1) {
+    std::vector<std::pair<std::size_t, std::size_t>> merged;
+    const std::size_t pairs = runs.size() / 2;
+    merged.reserve(pairs + 1);
+    for (std::size_t p = 0; p < pairs; ++p)
+      merged.emplace_back(runs[2 * p].first, runs[2 * p + 1].second);
+    if (runs.size() % 2) merged.push_back(runs.back());
+    for_each_index(b, pairs, [&](std::size_t p) {
+      auto first = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p].first);
+      auto mid = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p].second);
+      auto last = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p + 1].second);
+      std::inplace_merge(first, mid, last, cmp);
+    });
+    runs = std::move(merged);
+  }
+}
+
+/// Counts of key occurrences for keys in [0, num_buckets); the building
+/// block for CIC binning and halo-id segmentation. Parallel backend uses
+/// per-worker count arrays merged at the end.
+template <typename I>
+std::vector<std::uint64_t> bucket_count(Backend b, std::span<const I> keys,
+                                        std::size_t num_buckets) {
+  std::vector<std::uint64_t> counts(num_buckets, 0);
+  if (b == Backend::Serial || keys.size() < 4096) {
+    for (const auto k : keys) {
+      const auto kk = static_cast<std::size_t>(k);
+      COSMO_REQUIRE(kk < num_buckets, "bucket key out of range");
+      ++counts[kk];
+    }
+    return counts;
+  }
+  auto& pool = ThreadPool::instance();
+  std::vector<std::vector<std::uint64_t>> partial(
+      pool.workers(), std::vector<std::uint64_t>(num_buckets, 0));
+  std::atomic<std::size_t> slot{0};
+  pool.parallel_for(keys.size(), [&](std::size_t lo, std::size_t hi) {
+    auto& mine = partial[slot.fetch_add(1)];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto kk = static_cast<std::size_t>(keys[i]);
+      COSMO_REQUIRE(kk < num_buckets, "bucket key out of range");
+      ++mine[kk];
+    }
+  });
+  for (const auto& p : partial)
+    for (std::size_t k = 0; k < num_buckets; ++k) counts[k] += p[k];
+  return counts;
+}
+
+/// Compacts indices whose predicate holds, preserving order.
+template <typename Pred>
+std::vector<std::uint32_t> copy_if_index(Backend b, std::size_t n, Pred pred) {
+  std::vector<std::uint8_t> flags(n);
+  tabulate<std::uint8_t>(b, flags, [&](std::size_t i) {
+    return pred(i) ? std::uint8_t{1} : std::uint8_t{0};
+  });
+  std::vector<std::uint32_t> offsets(n);
+  std::vector<std::uint32_t> flags32(flags.begin(), flags.end());
+  const std::uint32_t total = exclusive_scan<std::uint32_t>(
+      b, std::span<const std::uint32_t>(flags32), std::span<std::uint32_t>(offsets));
+  std::vector<std::uint32_t> out(total);
+  for_each_index(b, n, [&](std::size_t i) {
+    if (flags[i]) out[offsets[i]] = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+}  // namespace cosmo::dpp

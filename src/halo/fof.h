@@ -1,0 +1,222 @@
+// Friends-of-Friends halo finding (§3.3.1).
+//
+// An FOF halo is a connected component of the graph linking particle pairs
+// closer than the linking length b. Within a rank the finder runs on a
+// balanced k-d tree: bounding boxes prune subtrees entirely farther than b
+// and merge subtrees entirely nearer than b without per-pair distance
+// tests. Across ranks, each rank finds halos over its owned+overload
+// particles; a halo is kept by exactly the rank that owns the halo's
+// minimum-tag particle. Provided the overload width is at least the
+// maximum halo extent, that rank has seen the halo in its entirety, so the
+// assignment is both unique and complete.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "comm/comm.h"
+#include "halo/kdtree.h"
+#include "sim/decomposition.h"
+#include "sim/particles.h"
+#include "util/error.h"
+
+namespace cosmo::halo {
+
+/// Union-find with path compression and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  std::uint32_t find(std::uint32_t v) {
+    std::uint32_t root = v;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[v] != root) {
+      const std::uint32_t next = parent_[v];
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+/// One found halo: indices into the particle set the finder ran over, plus
+/// the halo id (the minimum particle tag — globally unique and stable
+/// across rank counts).
+struct FofHalo {
+  std::vector<std::uint32_t> members;
+  std::int64_t id = 0;
+};
+
+struct FofConfig {
+  double linking_length = 0.2;  ///< b, in position units (Mpc/h)
+  std::size_t min_size = 40;    ///< discard smaller halos (spurious links)
+};
+
+/// Serial FOF over `p` under the given periodicity. Returns halos with at
+/// least cfg.min_size members, largest first.
+inline std::vector<FofHalo> fof_find(const sim::ParticleSet& p,
+                                     const Periodicity& per,
+                                     const FofConfig& cfg) {
+  COSMO_REQUIRE(cfg.linking_length > 0.0, "linking length must be positive");
+  const std::size_t n = p.size();
+  std::vector<FofHalo> out;
+  if (n == 0) return out;
+
+  KdTree tree = KdTree::over_all(p, per);
+  DisjointSets sets(n);
+  const double ll2 = cfg.linking_length * cfg.linking_length;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double qx = p.x[i], qy = p.y[i], qz = p.z[i];
+    tree.traverse(
+        qx, qy, qz,
+        [&](std::int32_t, double dmin2, double dmax2) -> int {
+          if (dmin2 > ll2) return 0;   // prune: nothing in range
+          if (dmax2 <= ll2) return 1;  // accept: whole subtree within b
+          return 2;                    // descend
+        },
+        [&](const KdTree::Node& nd, bool whole) {
+          if (whole) {
+            for (std::uint32_t k = nd.begin; k < nd.end; ++k)
+              sets.unite(i, tree.index()[k]);
+          } else {
+            for (std::uint32_t k = nd.begin; k < nd.end; ++k) {
+              const std::uint32_t j = tree.index()[k];
+              if (tree.dist2(i, j) <= ll2) sets.unite(i, j);
+            }
+          }
+        });
+  }
+
+  // Group members by root.
+  std::vector<std::uint32_t> root(n);
+  for (std::uint32_t i = 0; i < n; ++i) root[i] = sets.find(i);
+  std::vector<std::uint32_t> count(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) ++count[root[i]];
+  std::vector<std::int32_t> halo_of_root(n, -1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = root[i];
+    if (count[r] < cfg.min_size) continue;
+    if (halo_of_root[r] < 0) {
+      halo_of_root[r] = static_cast<std::int32_t>(out.size());
+      out.emplace_back();
+      out.back().members.reserve(count[r]);
+      out.back().id = std::numeric_limits<std::int64_t>::max();
+    }
+    auto& h = out[static_cast<std::size_t>(halo_of_root[r])];
+    h.members.push_back(i);
+    h.id = std::min(h.id, p.tag[i]);
+  }
+  std::sort(out.begin(), out.end(), [](const FofHalo& a, const FofHalo& b) {
+    return a.members.size() != b.members.size()
+               ? a.members.size() > b.members.size()
+               : a.id < b.id;
+  });
+  return out;
+}
+
+/// O(n²) reference implementation for tests.
+inline std::vector<FofHalo> fof_brute_force(const sim::ParticleSet& p,
+                                            const Periodicity& per,
+                                            const FofConfig& cfg) {
+  const std::size_t n = p.size();
+  DisjointSets sets(n);
+  const double ll2 = cfg.linking_length * cfg.linking_length;
+  auto fold = [&](double d, bool flag) {
+    if (!flag) return d;
+    if (d > 0.5 * per.box) d -= per.box;
+    if (d < -0.5 * per.box) d += per.box;
+    return d;
+  };
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      const double dx = fold(static_cast<double>(p.x[i]) - p.x[j], per.x);
+      const double dy = fold(static_cast<double>(p.y[i]) - p.y[j], per.y);
+      const double dz = fold(static_cast<double>(p.z[i]) - p.z[j], per.z);
+      if (dx * dx + dy * dy + dz * dz <= ll2) sets.unite(i, j);
+    }
+  std::vector<std::uint32_t> root(n);
+  for (std::uint32_t i = 0; i < n; ++i) root[i] = sets.find(i);
+  std::vector<std::uint32_t> count(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) ++count[root[i]];
+  std::vector<std::int32_t> halo_of_root(n, -1);
+  std::vector<FofHalo> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = root[i];
+    if (count[r] < cfg.min_size) continue;
+    if (halo_of_root[r] < 0) {
+      halo_of_root[r] = static_cast<std::int32_t>(out.size());
+      out.emplace_back();
+      out.back().id = std::numeric_limits<std::int64_t>::max();
+    }
+    auto& h = out[static_cast<std::size_t>(halo_of_root[r])];
+    h.members.push_back(i);
+    h.id = std::min(h.id, p.tag[i]);
+  }
+  std::sort(out.begin(), out.end(), [](const FofHalo& a, const FofHalo& b) {
+    return a.members.size() != b.members.size()
+               ? a.members.size() > b.members.size()
+               : a.id < b.id;
+  });
+  return out;
+}
+
+/// Result of the distributed finder. Halos' member indices refer to
+/// `particles` (the rank's owned+overload working set); indices below
+/// `owned_count` are owned, the rest are ghosts.
+struct DistributedFofResult {
+  sim::ParticleSet particles;
+  std::size_t owned_count = 0;
+  std::vector<FofHalo> halos;  ///< halos assigned to this rank, complete
+};
+
+/// Parallel FOF across the slab decomposition. `overload_width` must be at
+/// least the maximum halo extent (the paper's correctness condition).
+inline DistributedFofResult fof_distributed(comm::Comm& comm,
+                                            const sim::SlabDecomposition& decomp,
+                                            const sim::ParticleSet& owned,
+                                            const FofConfig& cfg,
+                                            double overload_width) {
+  DistributedFofResult out;
+  if (comm.size() == 1) {
+    out.particles = owned;
+    out.owned_count = owned.size();
+    out.halos = fof_find(out.particles, Periodicity::all(decomp.box()), cfg);
+    return out;
+  }
+  auto ov = decomp.exchange_overload(comm, owned, overload_width);
+  out.particles = std::move(ov.particles);
+  out.owned_count = ov.owned_count;
+  auto halos = fof_find(out.particles, Periodicity::xy(decomp.box()), cfg);
+  // Keep a halo iff the minimum-tag member is one of our owned particles.
+  for (auto& h : halos) {
+    std::uint32_t min_tag_member = h.members.front();
+    for (const auto m : h.members)
+      if (out.particles.tag[m] < out.particles.tag[min_tag_member])
+        min_tag_member = m;
+    if (min_tag_member < out.owned_count) out.halos.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace cosmo::halo

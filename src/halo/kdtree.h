@@ -1,0 +1,305 @@
+// Balanced k-d tree over particle positions.
+//
+// The workhorse of the FOF halo finder (§3.3.1): built once per rank over
+// the owned+overload particle set, it supports range queries with
+// bounding-box pruning, whole-subtree merges (all particles of a subtree
+// closer than the linking length can be unioned at once), and k-nearest-
+// neighbor queries for the subhalo finder's density estimates. x/y can be
+// periodic (slab decomposition leaves z non-periodic with unwrapped ghosts).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "sim/particles.h"
+#include "util/error.h"
+
+namespace cosmo::halo {
+
+/// Periodicity flags per dimension for distance computations.
+struct Periodicity {
+  bool x = false, y = false, z = false;
+  double box = 0.0;  ///< required if any flag is set
+
+  static Periodicity none() { return {}; }
+  static Periodicity xy(double box) { return {true, true, false, box}; }
+  static Periodicity all(double box) { return {true, true, true, box}; }
+};
+
+class KdTree {
+ public:
+  /// Builds over the subset `subset` of particles in `p` (or all of them if
+  /// subset is empty and use_all is true).
+  KdTree(const sim::ParticleSet& p, std::vector<std::uint32_t> subset,
+         const Periodicity& per = {}, std::size_t leaf_size = 8)
+      : p_(&p), per_(per), leaf_size_(leaf_size), index_(std::move(subset)) {
+    COSMO_REQUIRE(!(per.x || per.y || per.z) || per.box > 0.0,
+                  "periodic tree needs a box size");
+    COSMO_REQUIRE(leaf_size >= 1, "leaf size must be at least 1");
+    if (!index_.empty()) {
+      nodes_.reserve(2 * index_.size() / leaf_size + 2);
+      root_ = build(0, index_.size());
+    }
+  }
+
+  /// Convenience: tree over all particles.
+  static KdTree over_all(const sim::ParticleSet& p,
+                         const Periodicity& per = {},
+                         std::size_t leaf_size = 8) {
+    std::vector<std::uint32_t> all(p.size());
+    std::iota(all.begin(), all.end(), 0u);
+    return KdTree(p, std::move(all), per, leaf_size);
+  }
+
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+  /// The (reordered) particle indices; node ranges refer to this array.
+  std::span<const std::uint32_t> index() const { return index_; }
+
+  struct Node {
+    float lo[3], hi[3];        ///< bounding box of the subtree's particles
+    std::uint32_t begin, end;  ///< range in index()
+    std::int32_t left = -1, right = -1;
+    bool leaf() const { return left < 0; }
+    std::uint32_t count() const { return end - begin; }
+  };
+
+  const Node& node(std::int32_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::int32_t root() const { return root_; }
+
+  /// Calls fn(particle_index) for every particle within radius r of (qx,qy,qz).
+  template <typename Fn>
+  void for_each_in_range(double qx, double qy, double qz, double r,
+                         Fn&& fn) const {
+    if (root_ < 0) return;
+    range_recurse(root_, qx, qy, qz, r * r, fn);
+  }
+
+  /// Visitor-based traversal for the FOF subtree-merge optimisation.
+  /// visit(node_id, min_dist2, max_dist2) returns:
+  ///   0 = prune (ignore subtree), 1 = accept whole subtree, 2 = descend.
+  /// On accept/leaf, leaf_fn(node) is called.
+  template <typename Visit, typename LeafFn>
+  void traverse(double qx, double qy, double qz, Visit&& visit,
+                LeafFn&& leaf_fn) const {
+    if (root_ < 0) return;
+    traverse_recurse(root_, qx, qy, qz, visit, leaf_fn);
+  }
+
+  /// Squared min/max distance from a query point to a node's bounding box,
+  /// respecting periodic dimensions.
+  void box_dist2(const Node& n, double qx, double qy, double qz, double& dmin2,
+                 double& dmax2) const {
+    double dmin[3], dmax[3];
+    axis_dist(qx, n.lo[0], n.hi[0], per_.x, dmin[0], dmax[0]);
+    axis_dist(qy, n.lo[1], n.hi[1], per_.y, dmin[1], dmax[1]);
+    axis_dist(qz, n.lo[2], n.hi[2], per_.z, dmin[2], dmax[2]);
+    dmin2 = dmin[0] * dmin[0] + dmin[1] * dmin[1] + dmin[2] * dmin[2];
+    dmax2 = dmax[0] * dmax[0] + dmax[1] * dmax[1] + dmax[2] * dmax[2];
+  }
+
+  /// Squared distance between particles a and b under the periodicity.
+  double dist2(std::uint32_t a, std::uint32_t b) const {
+    return point_dist2(p_->x[a], p_->y[a], p_->z[a], p_->x[b], p_->y[b],
+                       p_->z[b]);
+  }
+
+  double point_dist2(double ax, double ay, double az, double bx, double by,
+                     double bz) const {
+    const double dx = fold(ax - bx, per_.x);
+    const double dy = fold(ay - by, per_.y);
+    const double dz = fold(az - bz, per_.z);
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  /// Indices of the k nearest neighbors of (qx,qy,qz) (possibly including a
+  /// particle at the query point itself), nearest first.
+  std::vector<std::uint32_t> k_nearest(double qx, double qy, double qz,
+                                       std::size_t k) const {
+    // Max-heap of (dist2, index) keeps the k best seen so far.
+    using Entry = std::pair<double, std::uint32_t>;
+    std::priority_queue<Entry> heap;
+    if (root_ >= 0) knn_recurse(root_, qx, qy, qz, k, heap);
+    std::vector<std::uint32_t> out(heap.size());
+    for (std::size_t i = out.size(); i-- > 0;) {
+      out[i] = heap.top().second;
+      heap.pop();
+    }
+    return out;
+  }
+
+  /// Distance to the k-th nearest neighbor (used by SPH density kernels).
+  double k_nearest_dist(double qx, double qy, double qz, std::size_t k) const {
+    using Entry = std::pair<double, std::uint32_t>;
+    std::priority_queue<Entry> heap;
+    if (root_ >= 0) knn_recurse(root_, qx, qy, qz, k, heap);
+    COSMO_REQUIRE(!heap.empty(), "k_nearest_dist on empty tree");
+    return std::sqrt(heap.top().first);
+  }
+
+ private:
+  void axis_dist(double q, double lo, double hi, bool periodic, double& dmin,
+                 double& dmax) const {
+    dmin = interval_dist(q, lo, hi);
+    dmax = (q < lo)   ? hi - q
+           : (q > hi) ? q - lo
+                      : std::max(q - lo, hi - q);
+    if (periodic) {
+      const double L = per_.box;
+      // Nearest periodic image of the interval gives the true lower bound;
+      // the direct max capped at L/2 stays a valid upper bound (periodic
+      // distance never exceeds half the box per axis).
+      dmin = std::min({dmin, interval_dist(q + L, lo, hi),
+                       interval_dist(q - L, lo, hi)});
+      dmax = std::min(dmax, 0.5 * L);
+    }
+  }
+
+  static double interval_dist(double q, double lo, double hi) {
+    if (q < lo) return lo - q;
+    if (q > hi) return q - hi;
+    return 0.0;
+  }
+
+  double fold(double d, bool periodic) const {
+    if (!periodic) return d;
+    const double L = per_.box;
+    if (d > 0.5 * L) d -= L;
+    if (d < -0.5 * L) d += L;
+    return d;
+  }
+
+  std::int32_t build(std::size_t begin, std::size_t end) {
+    Node n;
+    n.begin = static_cast<std::uint32_t>(begin);
+    n.end = static_cast<std::uint32_t>(end);
+    // Bounding box of the range.
+    for (int d = 0; d < 3; ++d) {
+      n.lo[d] = std::numeric_limits<float>::max();
+      n.hi[d] = std::numeric_limits<float>::lowest();
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t pi = index_[i];
+      const float c[3] = {p_->x[pi], p_->y[pi], p_->z[pi]};
+      for (int d = 0; d < 3; ++d) {
+        n.lo[d] = std::min(n.lo[d], c[d]);
+        n.hi[d] = std::max(n.hi[d], c[d]);
+      }
+    }
+    const auto id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(n);
+    if (end - begin <= leaf_size_) return id;
+
+    // Split on the widest dimension at the median.
+    int dim = 0;
+    float width = n.hi[0] - n.lo[0];
+    for (int d = 1; d < 3; ++d) {
+      const float w = n.hi[d] - n.lo[d];
+      if (w > width) {
+        width = w;
+        dim = d;
+      }
+    }
+    const std::size_t mid = begin + (end - begin) / 2;
+    auto coord = [&](std::uint32_t pi) {
+      return dim == 0 ? p_->x[pi] : dim == 1 ? p_->y[pi] : p_->z[pi];
+    };
+    std::nth_element(index_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     index_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     index_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return coord(a) < coord(b);
+                     });
+    const std::int32_t l = build(begin, mid);
+    const std::int32_t r = build(mid, end);
+    nodes_[static_cast<std::size_t>(id)].left = l;
+    nodes_[static_cast<std::size_t>(id)].right = r;
+    return id;
+  }
+
+  template <typename Fn>
+  void range_recurse(std::int32_t id, double qx, double qy, double qz,
+                     double r2, Fn& fn) const {
+    const Node& n = node(id);
+    double dmin2, dmax2;
+    box_dist2(n, qx, qy, qz, dmin2, dmax2);
+    if (dmin2 > r2) return;
+    if (n.leaf()) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        const std::uint32_t pi = index_[i];
+        if (point_dist2(qx, qy, qz, p_->x[pi], p_->y[pi], p_->z[pi]) <= r2)
+          fn(pi);
+      }
+      return;
+    }
+    range_recurse(n.left, qx, qy, qz, r2, fn);
+    range_recurse(n.right, qx, qy, qz, r2, fn);
+  }
+
+  template <typename Visit, typename LeafFn>
+  void traverse_recurse(std::int32_t id, double qx, double qy, double qz,
+                        Visit& visit, LeafFn& leaf_fn) const {
+    const Node& n = node(id);
+    double dmin2, dmax2;
+    box_dist2(n, qx, qy, qz, dmin2, dmax2);
+    const int action = visit(id, dmin2, dmax2);
+    if (action == 0) return;
+    if (action == 1 || n.leaf()) {
+      leaf_fn(n, action == 1);
+      return;
+    }
+    traverse_recurse(n.left, qx, qy, qz, visit, leaf_fn);
+    traverse_recurse(n.right, qx, qy, qz, visit, leaf_fn);
+  }
+
+  template <typename Heap>
+  void knn_recurse(std::int32_t id, double qx, double qy, double qz,
+                   std::size_t k, Heap& heap) const {
+    const Node& n = node(id);
+    double dmin2, dmax2;
+    box_dist2(n, qx, qy, qz, dmin2, dmax2);
+    if (heap.size() == k && dmin2 > heap.top().first) return;
+    if (n.leaf()) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        const std::uint32_t pi = index_[i];
+        const double d2 =
+            point_dist2(qx, qy, qz, p_->x[pi], p_->y[pi], p_->z[pi]);
+        if (heap.size() < k) {
+          heap.emplace(d2, pi);
+        } else if (d2 < heap.top().first) {
+          heap.pop();
+          heap.emplace(d2, pi);
+        }
+      }
+      return;
+    }
+    // Visit the nearer child first for better pruning.
+    double lmin2, lmax2, rmin2, rmax2;
+    box_dist2(node(n.left), qx, qy, qz, lmin2, lmax2);
+    box_dist2(node(n.right), qx, qy, qz, rmin2, rmax2);
+    if (lmin2 <= rmin2) {
+      knn_recurse(n.left, qx, qy, qz, k, heap);
+      knn_recurse(n.right, qx, qy, qz, k, heap);
+    } else {
+      knn_recurse(n.right, qx, qy, qz, k, heap);
+      knn_recurse(n.left, qx, qy, qz, k, heap);
+    }
+  }
+
+  const sim::ParticleSet* p_;
+  Periodicity per_;
+  std::size_t leaf_size_;
+  std::vector<std::uint32_t> index_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace cosmo::halo

@@ -1,0 +1,229 @@
+// CosmoIO — the GenericIO stand-in: a block-structured particle file format.
+//
+// Mirrors the layout HACC used on Titan (§4.1): one file aggregates the
+// output of many ranks, each rank's particles stored as one self-describing
+// block. Within a block each variable (x, y, z, vx, vy, vz, phi, tag) is a
+// contiguous array protected by a CRC32, so corruption on the (parallel)
+// filesystem is detected at read time rather than propagating into the
+// analysis.
+//
+// On-disk layout (little-endian, as written by this process):
+//   [Header]                   magic, version, block count, box, a, total N
+//   [Block 0][Block 1]...      per block: count + per-variable (crc, data)
+//   [BlockTable]               per block: offset + particle count
+//   Header.table_offset is patched on finalize; a file without a valid
+//   table (e.g. a crashed writer) is rejected by the reader.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/particles.h"
+#include "util/crc32.h"
+#include "util/error.h"
+
+namespace cosmo::io {
+
+namespace detail {
+constexpr std::uint32_t kMagic = 0x4F49'4331;  // "1CIO"
+constexpr std::uint32_t kVersion = 1;
+
+struct RawHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t num_blocks = 0;
+  std::uint32_t reserved = 0;
+  double box = 0.0;
+  double scale_factor = 0.0;
+  std::uint64_t total_particles = 0;
+  std::uint64_t table_offset = 0;  ///< 0 until finalize succeeds
+};
+
+struct BlockEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t particles = 0;
+  std::uint32_t writer_rank = 0;
+  std::uint32_t reserved = 0;
+};
+}  // namespace detail
+
+struct CosmoIoInfo {
+  double box = 0.0;
+  double scale_factor = 0.0;
+  std::uint64_t total_particles = 0;  ///< global count (metadata)
+  std::uint32_t num_blocks = 0;
+};
+
+/// Sequential block writer. Blocks are appended in call order; finalize()
+/// writes the block table and patches the header (making the file valid).
+class CosmoIoWriter {
+ public:
+  CosmoIoWriter(const std::filesystem::path& path, const CosmoIoInfo& info)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    COSMO_REQUIRE(out_.good(), "cannot open file for writing: " + path.string());
+    header_.box = info.box;
+    header_.scale_factor = info.scale_factor;
+    header_.total_particles = info.total_particles;
+    header_.table_offset = 0;  // invalid until finalize
+    write_raw(&header_, sizeof(header_));
+  }
+
+  ~CosmoIoWriter() {
+    if (out_.is_open() && !finalized_) {
+      // Leave the file with table_offset == 0: readers will reject it.
+      out_.close();
+    }
+  }
+
+  /// Appends one rank's particles as a block. Returns the block index.
+  std::uint32_t write_block(const sim::ParticleSet& p,
+                            std::uint32_t writer_rank = 0) {
+    COSMO_REQUIRE(!finalized_, "write_block after finalize");
+    detail::BlockEntry e;
+    e.offset = static_cast<std::uint64_t>(out_.tellp());
+    e.particles = p.size();
+    e.writer_rank = writer_rank;
+    const std::uint64_t n = p.size();
+    write_raw(&n, sizeof(n));
+    write_array(p.x);
+    write_array(p.y);
+    write_array(p.z);
+    write_array(p.vx);
+    write_array(p.vy);
+    write_array(p.vz);
+    write_array(p.phi);
+    write_array(p.tag);
+    table_.push_back(e);
+    return static_cast<std::uint32_t>(table_.size() - 1);
+  }
+
+  /// Writes the block table, patches the header, flushes, closes.
+  void finalize() {
+    COSMO_REQUIRE(!finalized_, "double finalize");
+    const auto table_offset = static_cast<std::uint64_t>(out_.tellp());
+    for (const auto& e : table_) write_raw(&e, sizeof(e));
+    header_.num_blocks = static_cast<std::uint32_t>(table_.size());
+    header_.table_offset = table_offset;
+    out_.seekp(0);
+    write_raw(&header_, sizeof(header_));
+    out_.flush();
+    COSMO_REQUIRE(out_.good(), "write failure finalizing " + path_.string());
+    out_.close();
+    finalized_ = true;
+  }
+
+  std::uint64_t bytes_written() const {
+    std::error_code ec;
+    const auto sz = std::filesystem::file_size(path_, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(sz);
+  }
+
+ private:
+  void write_raw(const void* data, std::size_t len) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    COSMO_REQUIRE(out_.good(), "write failure on " + path_.string());
+  }
+
+  template <typename T>
+  void write_array(const std::vector<T>& v) {
+    const std::uint32_t crc = crc32(v.data(), v.size() * sizeof(T));
+    write_raw(&crc, sizeof(crc));
+    if (!v.empty()) write_raw(v.data(), v.size() * sizeof(T));
+  }
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  detail::RawHeader header_;
+  std::vector<detail::BlockEntry> table_;
+  bool finalized_ = false;
+};
+
+/// Block reader with CRC validation.
+class CosmoIoReader {
+ public:
+  explicit CosmoIoReader(const std::filesystem::path& path)
+      : path_(path), in_(path, std::ios::binary) {
+    COSMO_REQUIRE(in_.good(), "cannot open file for reading: " + path.string());
+    read_raw(&header_, sizeof(header_));
+    COSMO_REQUIRE(header_.magic == detail::kMagic,
+                  "not a CosmoIO file: " + path.string());
+    COSMO_REQUIRE(header_.version == detail::kVersion,
+                  "unsupported CosmoIO version");
+    COSMO_REQUIRE(header_.table_offset != 0,
+                  "file was not finalized (truncated write?): " + path.string());
+    in_.seekg(static_cast<std::streamoff>(header_.table_offset));
+    table_.resize(header_.num_blocks);
+    for (auto& e : table_) read_raw(&e, sizeof(e));
+    COSMO_REQUIRE(in_.good(), "block table truncated: " + path.string());
+  }
+
+  CosmoIoInfo info() const {
+    return {header_.box, header_.scale_factor, header_.total_particles,
+            header_.num_blocks};
+  }
+  std::uint32_t num_blocks() const { return header_.num_blocks; }
+  std::uint64_t block_particles(std::uint32_t b) const {
+    COSMO_REQUIRE(b < table_.size(), "block index out of range");
+    return table_[b].particles;
+  }
+  std::uint32_t block_writer_rank(std::uint32_t b) const {
+    COSMO_REQUIRE(b < table_.size(), "block index out of range");
+    return table_[b].writer_rank;
+  }
+
+  /// Reads one block, validating every variable's CRC.
+  sim::ParticleSet read_block(std::uint32_t b) {
+    COSMO_REQUIRE(b < table_.size(), "block index out of range");
+    in_.seekg(static_cast<std::streamoff>(table_[b].offset));
+    std::uint64_t n = 0;
+    read_raw(&n, sizeof(n));
+    COSMO_REQUIRE(n == table_[b].particles,
+                  "block header disagrees with table: " + path_.string());
+    sim::ParticleSet p(static_cast<std::size_t>(n));
+    read_array(p.x);
+    read_array(p.y);
+    read_array(p.z);
+    read_array(p.vx);
+    read_array(p.vy);
+    read_array(p.vz);
+    read_array(p.phi);
+    read_array(p.tag);
+    return p;
+  }
+
+  /// Reads and concatenates all blocks.
+  sim::ParticleSet read_all() {
+    sim::ParticleSet all;
+    for (std::uint32_t b = 0; b < num_blocks(); ++b)
+      all.append(read_block(b));
+    return all;
+  }
+
+ private:
+  void read_raw(void* data, std::size_t len) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    COSMO_REQUIRE(in_.good(), "read failure on " + path_.string());
+  }
+
+  template <typename T>
+  void read_array(std::vector<T>& v) {
+    std::uint32_t stored_crc = 0;
+    read_raw(&stored_crc, sizeof(stored_crc));
+    if (!v.empty()) read_raw(v.data(), v.size() * sizeof(T));
+    const std::uint32_t actual = crc32(v.data(), v.size() * sizeof(T));
+    COSMO_REQUIRE(actual == stored_crc,
+                  "CRC mismatch — corrupt block in " + path_.string());
+  }
+
+  std::filesystem::path path_;
+  std::ifstream in_;
+  detail::RawHeader header_;
+  std::vector<detail::BlockEntry> table_;
+};
+
+}  // namespace cosmo::io

@@ -1,0 +1,150 @@
+// Background cosmology: expansion history, linear growth, and the linear
+// matter power spectrum used to seed initial conditions.
+//
+// The transfer function is BBKS (Bardeen–Bond–Kaiser–Szalay 1986) with the
+// Sugiyama (1995) shape-parameter baryon correction — accurate to a few
+// percent, which is ample for generating realistically clustered particle
+// loads (the workflows under study consume the clustering statistics, not
+// percent-level cosmology).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace cosmo::sim {
+
+/// Flat ΛCDM parameters (defaults near the paper-era WMAP-7 values HACC ran).
+struct CosmologyParams {
+  double omega_m = 0.265;   ///< total matter density
+  double omega_b = 0.0448;  ///< baryon density
+  double h = 0.71;          ///< H0 / (100 km/s/Mpc)
+  double ns = 0.963;        ///< scalar spectral index
+  double sigma8 = 0.8;      ///< power normalization at 8 Mpc/h
+};
+
+class Cosmology {
+ public:
+  explicit Cosmology(const CosmologyParams& p = {}) : p_(p) {
+    COSMO_REQUIRE(p.omega_m > 0.0 && p.omega_m <= 1.0, "bad omega_m");
+    COSMO_REQUIRE(p.h > 0.0, "bad h");
+    sigma8_norm_ = 1.0;
+    const double s8 = sigma_r_unnormalized(8.0);
+    sigma8_norm_ = (p_.sigma8 * p_.sigma8) / (s8 * s8);
+  }
+
+  const CosmologyParams& params() const { return p_; }
+
+  static double a_of_z(double z) { return 1.0 / (1.0 + z); }
+  static double z_of_a(double a) { return 1.0 / a - 1.0; }
+
+  /// Dimensionless Hubble rate E(a) = H(a)/H0 for flat ΛCDM.
+  double efunc(double a) const {
+    const double omega_l = 1.0 - p_.omega_m;
+    return std::sqrt(p_.omega_m / (a * a * a) + omega_l);
+  }
+
+  /// Matter density parameter at scale factor a.
+  double omega_m_a(double a) const {
+    const double e = efunc(a);
+    return p_.omega_m / (a * a * a * e * e);
+  }
+
+  /// Linear growth factor D(a), normalized to D(1) = 1.
+  /// Carroll–Press–Turner (1992) fitting form, good to <1% for flat ΛCDM.
+  double growth(double a) const { return growth_unnorm(a) / growth_unnorm(1.0); }
+
+  /// Logarithmic growth rate f = dlnD/dlna ≈ Ω_m(a)^0.55.
+  double growth_rate(double a) const { return std::pow(omega_m_a(a), 0.55); }
+
+  /// BBKS transfer function; k in h/Mpc.
+  double transfer(double k) const {
+    // Sugiyama-corrected shape parameter.
+    const double gamma =
+        p_.omega_m * p_.h *
+        std::exp(-p_.omega_b * (1.0 + std::sqrt(2.0 * p_.h) / p_.omega_m));
+    const double q = k / gamma;
+    if (q < 1e-12) return 1.0;
+    const double t1 = std::log(1.0 + 2.34 * q) / (2.34 * q);
+    const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                        std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+    return t1 * std::pow(poly, -0.25);
+  }
+
+  /// Linear matter power spectrum at z=0, (Mpc/h)^3; k in h/Mpc.
+  double linear_power(double k) const {
+    if (k <= 0.0) return 0.0;
+    const double t = transfer(k);
+    return sigma8_norm_ * std::pow(k, p_.ns) * t * t;
+  }
+
+  /// Linear power at redshift z: P(k, z) = D(z)^2 P(k, 0).
+  double linear_power(double k, double z) const {
+    const double d = growth(a_of_z(z));
+    return d * d * linear_power(k);
+  }
+
+  /// RMS linear fluctuation in spheres of radius r Mpc/h at z=0.
+  double sigma_r(double r) const {
+    return std::sqrt(sigma8_norm_) * sigma_r_unnormalized(r);
+  }
+
+  /// Mean comoving matter density in M_sun/h / (Mpc/h)^3.
+  double mean_density() const {
+    // rho_crit = 2.775e11 h^2 M_sun / Mpc^3 = 2.775e11 M_sun/h / (Mpc/h)^3.
+    return 2.775e11 * p_.omega_m;
+  }
+
+  /// Mass of one simulation particle for np^3 particles in an L^3 box
+  /// (L in Mpc/h), in M_sun/h.
+  double particle_mass(double box, std::size_t np) const {
+    const double n = static_cast<double>(np);
+    return mean_density() * (box * box * box) / (n * n * n);
+  }
+
+ private:
+  double growth_unnorm(double a) const {
+    const double om = omega_m_a(a);
+    const double ol = 1.0 - p_.omega_m;
+    const double e = efunc(a);
+    const double ol_a = ol / (e * e);
+    // CPT approximation: D ∝ a * g(a) with
+    // g = (5/2)Ω_m / (Ω_m^{4/7} − Ω_Λ + (1+Ω_m/2)(1+Ω_Λ/70)).
+    const double g = 2.5 * om /
+                     (std::pow(om, 4.0 / 7.0) - ol_a +
+                      (1.0 + 0.5 * om) * (1.0 + ol_a / 70.0));
+    return a * g;
+  }
+
+  /// σ(r) with the normalization constant set to 1; trapezoid in ln k.
+  double sigma_r_unnormalized(double r) const {
+    const int steps = 512;
+    const double lnk_lo = std::log(1e-4), lnk_hi = std::log(1e2);
+    const double dlnk = (lnk_hi - lnk_lo) / steps;
+    double sum = 0.0;
+    for (int i = 0; i <= steps; ++i) {
+      const double lnk = lnk_lo + i * dlnk;
+      const double k = std::exp(lnk);
+      const double kr = k * r;
+      // Top-hat window.
+      double w;
+      if (kr < 1e-3) {
+        w = 1.0 - kr * kr / 10.0;
+      } else {
+        w = 3.0 * (std::sin(kr) - kr * std::cos(kr)) / (kr * kr * kr);
+      }
+      const double t = transfer(k);
+      const double integrand =
+          std::pow(k, p_.ns) * t * t * w * w * k * k * k / (2.0 * M_PI * M_PI);
+      const double weight = (i == 0 || i == steps) ? 0.5 : 1.0;
+      sum += weight * integrand * dlnk;
+    }
+    return std::sqrt(sum);
+  }
+
+  CosmologyParams p_;
+  double sigma8_norm_;
+};
+
+}  // namespace cosmo::sim

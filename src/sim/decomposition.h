@@ -1,0 +1,155 @@
+// Slab domain decomposition with overload (ghost) regions.
+//
+// HACC decomposes the periodic box across ranks and defines "overload
+// regions" at rank boundaries: each neighbor receives a copy of the
+// particles within the overload width, sized so that every FOF halo is
+// found whole by at least one rank (§3.3.1). We use z-slabs, which also
+// match the distributed FFT's real-space layout, so the PM solver and the
+// analysis share one decomposition.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "comm/comm.h"
+#include "sim/particles.h"
+#include "util/error.h"
+
+namespace cosmo::sim {
+
+/// Wire format for particle exchange (trivially copyable).
+struct PackedParticle {
+  float x, y, z, vx, vy, vz, phi;
+  std::int64_t tag;
+};
+static_assert(std::is_trivially_copyable_v<PackedParticle>);
+
+inline PackedParticle pack_particle(const ParticleSet& p, std::size_t i) {
+  return PackedParticle{p.x[i],  p.y[i],  p.z[i],   p.vx[i],
+                        p.vy[i], p.vz[i], p.phi[i], p.tag[i]};
+}
+
+inline void unpack_particle(const PackedParticle& w, ParticleSet& p) {
+  p.push_back(w.x, w.y, w.z, w.vx, w.vy, w.vz, w.tag, w.phi);
+}
+
+/// Periodic z-slab decomposition of an L^3 box across the communicator.
+class SlabDecomposition {
+ public:
+  SlabDecomposition(int nranks, double box) : nranks_(nranks), box_(box) {
+    COSMO_REQUIRE(nranks > 0, "need at least one rank");
+    COSMO_REQUIRE(box > 0.0, "box must be positive");
+  }
+
+  double box() const { return box_; }
+  int nranks() const { return nranks_; }
+  double slab_thickness() const { return box_ / nranks_; }
+  double z_lo(int rank) const { return slab_thickness() * rank; }
+  double z_hi(int rank) const { return slab_thickness() * (rank + 1); }
+
+  /// Rank owning position z (z is wrapped into [0, box) first).
+  int owner_of(double zpos) const {
+    double zz = zpos;
+    while (zz < 0.0) zz += box_;
+    while (zz >= box_) zz -= box_;
+    int r = static_cast<int>(zz / slab_thickness());
+    if (r >= nranks_) r = nranks_ - 1;
+    return r;
+  }
+
+  /// Moves every particle to its owner rank (alltoallv). Positions are
+  /// wrapped into the box before routing.
+  ParticleSet redistribute(comm::Comm& comm, ParticleSet local) const {
+    COSMO_REQUIRE(comm.size() == nranks_, "communicator/decomposition mismatch");
+    local.wrap_positions(static_cast<float>(box_));
+    std::vector<std::vector<PackedParticle>> send(
+        static_cast<std::size_t>(nranks_));
+    for (std::size_t i = 0; i < local.size(); ++i)
+      send[static_cast<std::size_t>(owner_of(local.z[i]))].push_back(
+          pack_particle(local, i));
+    auto recv = comm.alltoallv(send);
+    ParticleSet owned;
+    std::size_t total = 0;
+    for (const auto& buf : recv) total += buf.size();
+    owned.reserve(total);
+    for (const auto& buf : recv)
+      for (const auto& w : buf) unpack_particle(w, owned);
+    return owned;
+  }
+
+  /// Result of an overload exchange: the rank's owned particles followed by
+  /// ghost copies received from neighbors. `owned_count` marks the split.
+  struct Overloaded {
+    ParticleSet particles;
+    std::size_t owned_count = 0;
+  };
+
+  /// Exchanges ghost copies of particles within `width` of the slab faces
+  /// with both periodic neighbors. Ghost z-positions are kept unwrapped
+  /// (they may lie slightly outside [0, box)) so distance computations near
+  /// the boundary need no minimum-image logic inside a slab's neighborhood.
+  Overloaded exchange_overload(comm::Comm& comm, const ParticleSet& owned,
+                               double width) const {
+    COSMO_REQUIRE(comm.size() == nranks_, "communicator/decomposition mismatch");
+    COSMO_REQUIRE(width >= 0.0 && width < slab_thickness(),
+                  "overload width must be smaller than the slab thickness");
+    Overloaded out;
+    out.particles = owned;
+    out.owned_count = owned.size();
+    if (nranks_ == 1) {
+      // Self-ghosts across the periodic boundary: replicate boundary
+      // particles shifted by ±box so single-rank FOF sees the wrap.
+      if (width > 0.0) append_periodic_self_ghosts(out.particles, width);
+      return out;
+    }
+
+    const int rank = comm.rank();
+    const int lo_nbr = (rank + nranks_ - 1) % nranks_;
+    const int hi_nbr = (rank + 1) % nranks_;
+    const double zlo = z_lo(rank), zhi = z_hi(rank);
+
+    std::vector<std::vector<PackedParticle>> send(
+        static_cast<std::size_t>(nranks_));
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      const double zz = owned.z[i];
+      if (zz < zlo + width) {
+        PackedParticle w = pack_particle(owned, i);
+        // Crossing the periodic seam: shift so the ghost is contiguous with
+        // the receiver's slab.
+        if (rank == 0) w.z += static_cast<float>(box_);
+        send[static_cast<std::size_t>(lo_nbr)].push_back(w);
+      }
+      if (zz >= zhi - width) {
+        PackedParticle w = pack_particle(owned, i);
+        if (rank == nranks_ - 1) w.z -= static_cast<float>(box_);
+        send[static_cast<std::size_t>(hi_nbr)].push_back(w);
+      }
+    }
+    auto recv = comm.alltoallv(send);
+    for (const auto& buf : recv)
+      for (const auto& w : buf) unpack_particle(w, out.particles);
+    return out;
+  }
+
+ private:
+  void append_periodic_self_ghosts(ParticleSet& p, double width) const {
+    const std::size_t n = p.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p.z[i] < width) {
+        PackedParticle w = pack_particle(p, i);
+        w.z += static_cast<float>(box_);
+        unpack_particle(w, p);
+      } else if (p.z[i] >= box_ - width) {
+        PackedParticle w = pack_particle(p, i);
+        w.z -= static_cast<float>(box_);
+        unpack_particle(w, p);
+      }
+    }
+  }
+
+  int nranks_;
+  double box_;
+};
+
+}  // namespace cosmo::sim

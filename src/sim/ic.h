@@ -1,0 +1,132 @@
+// Zel'dovich initial conditions.
+//
+// A Gaussian random field with the linear power spectrum is generated in
+// k space on the distributed grid; the displacement field ψ = (ik/k²) δ̂ is
+// inverse-transformed, and particles start on a uniform lattice displaced
+// by D(a_i) ψ with Zel'dovich-consistent momenta. The particle lattice
+// matches the force grid (np == ng, as the paper notes is typical for HACC).
+//
+// Discrete Fourier conventions used throughout (also by the power-spectrum
+// analysis so generation and measurement agree):
+//   δ(x) = (1/N) Σ_k δ̂_k e^{ikx},  ⟨|δ̂_k|²⟩ = (N²/V) P(k),  N = ng³, V = L³.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <vector>
+
+#include "comm/comm.h"
+#include "fft/distributed_fft.h"
+#include "fft/fft.h"
+#include "sim/cosmology.h"
+#include "sim/decomposition.h"
+#include "sim/particles.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cosmo::sim {
+
+struct IcConfig {
+  std::size_t ng = 32;    ///< particles and grid points per dimension
+  double box = 64.0;      ///< Mpc/h
+  double z_init = 50.0;   ///< starting redshift
+  std::uint64_t seed = 12345;
+};
+
+/// Generates this rank's slab of Zel'dovich-displaced particles. Momenta are
+/// stored in the PM code units (p = a²ẋ, grid units, t in 1/H0), matching
+/// PmSolver::step.
+inline ParticleSet zeldovich_ics(comm::Comm& comm, const Cosmology& cosmo,
+                                 const IcConfig& cfg) {
+  const std::size_t ng = cfg.ng;
+  fft::DistributedFft dfft(comm, ng);
+  const std::size_t nzl = dfft.slab_thickness();
+  const std::size_t z0 = dfft.slab_start();
+
+  // White noise in real space, seeded per *global plane* so the field is
+  // independent of the rank count.
+  std::vector<fft::Complex> noise(dfft.local_size());
+  for (std::size_t zl = 0; zl < nzl; ++zl) {
+    Rng rng(cfg.seed, z0 + zl);
+    for (std::size_t i = 0; i < ng * ng; ++i)
+      noise[zl * ng * ng + i] = fft::Complex(rng.normal(), 0.0);
+  }
+  dfft.forward(noise);
+
+  // Scale to the target spectrum: δ̂ = ŵ sqrt(N P(k) / V).
+  const double n_total = static_cast<double>(ng) * static_cast<double>(ng) *
+                         static_cast<double>(ng);
+  const double volume = cfg.box * cfg.box * cfg.box;
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double kfun = two_pi / cfg.box;  // fundamental mode, h/Mpc
+
+  // Three displacement components share the forward transform of the noise;
+  // build each ψ̂_j and inverse-transform.
+  std::vector<fft::Complex> psi_hat[3];
+  for (auto& v : psi_hat) v.resize(dfft.local_size());
+  for (std::size_t kyl = 0; kyl < nzl; ++kyl) {
+    const long my = fft::freq_index(z0 + kyl, ng);
+    for (std::size_t kx = 0; kx < ng; ++kx) {
+      const long mx = fft::freq_index(kx, ng);
+      for (std::size_t kz = 0; kz < ng; ++kz) {
+        const long mz = fft::freq_index(kz, ng);
+        const std::size_t idx = (kyl * ng + kx) * ng + kz;
+        const double kxv = kfun * static_cast<double>(mx);
+        const double kyv = kfun * static_cast<double>(my);
+        const double kzv = kfun * static_cast<double>(mz);
+        const double k2 = kxv * kxv + kyv * kyv + kzv * kzv;
+        if (k2 <= 0.0) {
+          for (auto& v : psi_hat) v[idx] = fft::Complex(0, 0);
+          continue;
+        }
+        const double k = std::sqrt(k2);
+        const double amp = std::sqrt(n_total * cosmo.linear_power(k) / volume);
+        const fft::Complex delta = noise[idx] * amp;
+        // ψ̂_j = (i k_j / k²) δ̂
+        const fft::Complex ik_over_k2(0.0, 1.0 / k2);
+        psi_hat[0][idx] = ik_over_k2 * kxv * delta;
+        psi_hat[1][idx] = ik_over_k2 * kyv * delta;
+        psi_hat[2][idx] = ik_over_k2 * kzv * delta;
+      }
+    }
+  }
+  for (auto& v : psi_hat) dfft.inverse(v);
+
+  // Displace the uniform lattice. At a_i: x = q + D ψ, and the PM momentum
+  // p = a³ E(a) dD/da ψ / cell  with dD/da ≈ D f / a  (grid units).
+  const double a_i = Cosmology::a_of_z(cfg.z_init);
+  const double d = cosmo.growth(a_i);
+  const double f = cosmo.growth_rate(a_i);
+  const double e = cosmo.efunc(a_i);
+  const double mom_fac = a_i * a_i * e * f * d;  // a³E·(Df/a) = a²EfD
+  const double cellsz = cfg.box / static_cast<double>(ng);
+
+  ParticleSet p;
+  p.reserve(nzl * ng * ng);
+  for (std::size_t zl = 0; zl < nzl; ++zl)
+    for (std::size_t y = 0; y < ng; ++y)
+      for (std::size_t x = 0; x < ng; ++x) {
+        const std::size_t idx = (zl * ng + y) * ng + x;
+        const double px = psi_hat[0][idx].real();
+        const double py = psi_hat[1][idx].real();
+        const double pz = psi_hat[2][idx].real();
+        const double qx = (static_cast<double>(x) + 0.5) * cellsz;
+        const double qy = (static_cast<double>(y) + 0.5) * cellsz;
+        const double qz = (static_cast<double>(z0 + zl) + 0.5) * cellsz;
+        const auto tag = static_cast<std::int64_t>(
+            ((z0 + zl) * ng + y) * ng + x);
+        p.push_back(static_cast<float>(qx + d * px),
+                    static_cast<float>(qy + d * py),
+                    static_cast<float>(qz + d * pz),
+                    static_cast<float>(mom_fac * px / cellsz),
+                    static_cast<float>(mom_fac * py / cellsz),
+                    static_cast<float>(mom_fac * pz / cellsz), tag);
+      }
+  p.wrap_positions(static_cast<float>(cfg.box));
+  // Displacements can cross slab boundaries; hand particles to their owners.
+  SlabDecomposition decomp(comm.size(), cfg.box);
+  return decomp.redistribute(comm, std::move(p));
+}
+
+}  // namespace cosmo::sim

@@ -1,0 +1,85 @@
+// The simulation driver: the HACC main loop.
+//
+// Evolves Zel'dovich initial conditions with the PM solver and invokes a
+// per-step hook after each timestep — the attachment point for CosmoTools'
+// InSituAnalysisManager (core/cosmotools.h). The hook receives a mutable
+// reference to the rank's owned particles ("zero-copy": analysis operates
+// directly on the simulation's SoA arrays, §3.1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "comm/comm.h"
+#include "sim/cosmology.h"
+#include "sim/ic.h"
+#include "sim/particles.h"
+#include "sim/pm_solver.h"
+#include "util/error.h"
+
+namespace cosmo::sim {
+
+struct SimulationConfig {
+  IcConfig ic;
+  double z_final = 0.0;
+  std::size_t steps = 16;
+};
+
+/// Per-step context handed to in-situ hooks.
+struct StepContext {
+  std::size_t step;       ///< 1-based step index; `steps` is the final one
+  std::size_t total_steps;
+  double a;               ///< scale factor after the step
+  double z;               ///< redshift after the step
+};
+
+class Simulation {
+ public:
+  Simulation(comm::Comm& comm, const Cosmology& cosmo,
+             const SimulationConfig& cfg)
+      : comm_(&comm),
+        cosmo_(&cosmo),
+        cfg_(cfg),
+        solver_(comm, cosmo, cfg.ic.ng, cfg.ic.box) {
+    COSMO_REQUIRE(cfg.steps > 0, "simulation needs at least one step");
+    COSMO_REQUIRE(cfg.z_final < cfg.ic.z_init, "z_final must be after z_init");
+  }
+
+  using StepHook = std::function<void(const StepContext&, ParticleSet&)>;
+
+  /// Global particle count (np == ng lattice).
+  double global_particles() const {
+    const auto ng = static_cast<double>(cfg_.ic.ng);
+    return ng * ng * ng;
+  }
+
+  const PmSolver& solver() const { return solver_; }
+  const SimulationConfig& config() const { return cfg_; }
+
+  /// Runs ICs + `steps` leapfrog steps, calling `hook` after each step.
+  /// Returns the rank's final particle slab.
+  ParticleSet run(const StepHook& hook = {}) {
+    ParticleSet particles = zeldovich_ics(*comm_, *cosmo_, cfg_.ic);
+    const double a_init = Cosmology::a_of_z(cfg_.ic.z_init);
+    const double a_final = Cosmology::a_of_z(cfg_.z_final);
+    const double da = (a_final - a_init) / static_cast<double>(cfg_.steps);
+    double a = a_init;
+    for (std::size_t s = 1; s <= cfg_.steps; ++s) {
+      particles = solver_.step(std::move(particles), a, da, global_particles());
+      a += da;
+      if (hook) {
+        StepContext ctx{s, cfg_.steps, a, Cosmology::z_of_a(a)};
+        hook(ctx, particles);
+      }
+    }
+    return particles;
+  }
+
+ private:
+  comm::Comm* comm_;
+  const Cosmology* cosmo_;
+  SimulationConfig cfg_;
+  PmSolver solver_;
+};
+
+}  // namespace cosmo::sim

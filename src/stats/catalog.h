@@ -1,0 +1,92 @@
+// Halo catalogs — the Level 3 data product — and their reconciliation.
+//
+// The combined workflow produces halo properties from two places: centers of
+// small/medium halos computed in-situ, and centers of off-loaded large halos
+// computed off-line (on "Moonlight"). The final step of Fig. 1 merges the
+// two partial catalogs into one complete, de-duplicated catalog; this module
+// provides the record type, (de)serialization for transport/files, and the
+// merge with its disjointness checks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cosmo::stats {
+
+/// One halo's Level 3 properties. Trivially copyable for transport.
+struct HaloRecord {
+  std::int64_t id = 0;          ///< minimum particle tag (global, stable)
+  std::uint64_t count = 0;      ///< FOF particle count
+  float cx = 0, cy = 0, cz = 0; ///< MBP center position
+  float potential = 0;          ///< potential at the center
+  float so_mass = 0;            ///< spherical-overdensity mass (0 if not run)
+  float so_radius = 0;
+  float concentration = 0;      ///< NFW concentration (0 if not run)
+  float b_over_a = 0;           ///< shape axis ratios (0 if not run)
+  float c_over_a = 0;
+  std::uint32_t subhalos = 0;   ///< subhalo count (0 if not run)
+};
+static_assert(std::is_trivially_copyable_v<HaloRecord>);
+
+using HaloCatalog = std::vector<HaloRecord>;
+
+/// Sorts by halo id (the canonical catalog order).
+inline void sort_catalog(HaloCatalog& c) {
+  std::sort(c.begin(), c.end(),
+            [](const HaloRecord& a, const HaloRecord& b) { return a.id < b.id; });
+}
+
+/// Merges the in-situ and off-line partial catalogs into the complete one.
+/// The parts must be disjoint by id (each halo is analyzed exactly once —
+/// the invariant the in-situ/off-line split is built on).
+inline HaloCatalog reconcile_catalogs(const HaloCatalog& in_situ_part,
+                                      const HaloCatalog& off_line_part) {
+  HaloCatalog merged;
+  merged.reserve(in_situ_part.size() + off_line_part.size());
+  merged.insert(merged.end(), in_situ_part.begin(), in_situ_part.end());
+  merged.insert(merged.end(), off_line_part.begin(), off_line_part.end());
+  sort_catalog(merged);
+  for (std::size_t i = 1; i < merged.size(); ++i)
+    COSMO_REQUIRE(merged[i].id != merged[i - 1].id,
+                  "halo analyzed by both the in-situ and off-line paths");
+  return merged;
+}
+
+/// Serializes to bytes (for CosmoIO blocks and staging buffers).
+inline std::vector<std::byte> catalog_to_bytes(const HaloCatalog& c) {
+  std::vector<std::byte> out(c.size() * sizeof(HaloRecord));
+  if (!c.empty()) std::memcpy(out.data(), c.data(), out.size());
+  return out;
+}
+
+inline HaloCatalog catalog_from_bytes(std::span<const std::byte> bytes) {
+  COSMO_REQUIRE(bytes.size() % sizeof(HaloRecord) == 0,
+                "catalog byte stream has invalid length");
+  HaloCatalog c(bytes.size() / sizeof(HaloRecord));
+  if (!c.empty()) std::memcpy(c.data(), bytes.data(), bytes.size());
+  return c;
+}
+
+/// Summary statistics used by the experiment harness.
+struct CatalogSummary {
+  std::uint64_t halos = 0;
+  std::uint64_t particles_in_halos = 0;
+  std::uint64_t largest = 0;
+};
+
+inline CatalogSummary summarize(const HaloCatalog& c) {
+  CatalogSummary s;
+  s.halos = c.size();
+  for (const auto& h : c) {
+    s.particles_in_halos += h.count;
+    s.largest = std::max(s.largest, h.count);
+  }
+  return s;
+}
+
+}  // namespace cosmo::stats

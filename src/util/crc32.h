@@ -1,0 +1,37 @@
+// CRC32 (ISO-HDLC polynomial, the zlib variant) for file-block integrity.
+//
+// The CosmoIO format stores a CRC per variable block, mirroring GenericIO's
+// defence against silent corruption on large parallel filesystems.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cosmo {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// Incremental CRC32. Pass the previous result as `seed` to chain buffers.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cosmo

@@ -1,0 +1,33 @@
+// Error-handling helpers shared across all cosmoflow modules.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosmo {
+
+/// Exception type thrown on precondition/invariant violations in library code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cosmo
+
+/// Precondition check that stays on in release builds: library entry points
+/// validate caller-supplied arguments with this, never with assert().
+#define COSMO_REQUIRE(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::cosmo::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

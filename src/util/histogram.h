@@ -1,0 +1,118 @@
+// Linear- and log-binned histograms.
+//
+// Used by the mass-function plot (Fig. 3, log mass bins), the per-node
+// center-finding time distribution (Fig. 4, 1000 s linear bins), and the
+// power-spectrum |k| binning.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cosmo {
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples are
+/// counted separately so totals always reconcile.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0), weights_(bins, 0.0) {
+    COSMO_REQUIRE(hi > lo, "histogram range must be non-empty");
+    COSMO_REQUIRE(bins > 0, "histogram needs at least one bin");
+  }
+
+  void add(double x, double weight = 1.0) {
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto b = static_cast<std::size_t>((x - lo_) / width());
+    const std::size_t idx = b < counts_.size() ? b : counts_.size() - 1;
+    ++counts_[idx];
+    weights_[idx] += weight;
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  double width() const { return (hi_ - lo_) / static_cast<double>(bins()); }
+  double bin_lo(std::size_t b) const { return lo_ + width() * static_cast<double>(b); }
+  double bin_center(std::size_t b) const { return bin_lo(b) + 0.5 * width(); }
+  std::uint64_t count(std::size_t b) const { return counts_[b]; }
+  double weight(std::size_t b) const { return weights_[b]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  std::uint64_t total() const {
+    std::uint64_t t = underflow_ + overflow_;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> weights_;
+  std::uint64_t underflow_ = 0, overflow_ = 0;
+};
+
+/// Logarithmically spaced histogram over [lo, hi); requires lo > 0.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins)
+      : loglo_(std::log10(lo)),
+        loghi_(std::log10(hi)),
+        counts_(bins, 0) {
+    COSMO_REQUIRE(lo > 0.0 && hi > lo, "log histogram needs 0 < lo < hi");
+    COSMO_REQUIRE(bins > 0, "histogram needs at least one bin");
+  }
+
+  void add(double x) {
+    if (x <= 0.0) {
+      ++underflow_;
+      return;
+    }
+    const double lx = std::log10(x);
+    if (lx < loglo_) {
+      ++underflow_;
+      return;
+    }
+    if (lx >= loghi_) {
+      ++overflow_;
+      return;
+    }
+    auto b = static_cast<std::size_t>((lx - loglo_) / logwidth());
+    if (b >= counts_.size()) b = counts_.size() - 1;
+    ++counts_[b];
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  double logwidth() const { return (loghi_ - loglo_) / static_cast<double>(bins()); }
+  double bin_lo(std::size_t b) const {
+    return std::pow(10.0, loglo_ + logwidth() * static_cast<double>(b));
+  }
+  double bin_hi(std::size_t b) const { return bin_lo(b + 1); }
+  double bin_center(std::size_t b) const {
+    return std::pow(10.0, loglo_ + logwidth() * (static_cast<double>(b) + 0.5));
+  }
+  std::uint64_t count(std::size_t b) const { return counts_[b]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  std::uint64_t total() const {
+    std::uint64_t t = underflow_ + overflow_;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+ private:
+  double loglo_, loghi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace cosmo

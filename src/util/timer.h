@@ -1,0 +1,27 @@
+// Wall-clock timing helpers used by the workflow phase ledger and benches.
+#pragma once
+
+#include <chrono>
+
+namespace cosmo {
+
+/// Simple monotonic stopwatch; seconds() reads elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cosmo

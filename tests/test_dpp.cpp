@@ -1,0 +1,200 @@
+// Tests for the data-parallel primitives (PISTON stand-in).
+//
+// Every primitive is exercised on both backends via TEST_P; the ThreadPool
+// results must be bit-identical to Serial for the deterministic primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "dpp/primitives.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cosmo;
+using dpp::Backend;
+
+class DppBackends : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, DppBackends,
+                         ::testing::Values(Backend::Serial,
+                                           Backend::ThreadPool),
+                         [](const auto& info) {
+                           return dpp::to_string(info.param);
+                         });
+
+TEST_P(DppBackends, TabulateFillsEveryIndex) {
+  std::vector<std::int64_t> out(10007);
+  dpp::tabulate<std::int64_t>(GetParam(), out,
+                              [](std::size_t i) { return 3 * static_cast<std::int64_t>(i) + 1; });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], 3 * static_cast<std::int64_t>(i) + 1);
+}
+
+TEST_P(DppBackends, TabulateEmptyIsNoop) {
+  std::vector<int> out;
+  dpp::tabulate<int>(GetParam(), out, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(DppBackends, ReduceMatchesStdAccumulate) {
+  Rng rng(5);
+  std::vector<std::int64_t> v(54321);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.below(1000));
+  const auto expect = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+  EXPECT_EQ(dpp::reduce<std::int64_t>(GetParam(), v), expect);
+}
+
+TEST_P(DppBackends, TransformReduceMax) {
+  std::vector<double> v(9999);
+  Rng rng(6);
+  for (auto& x : v) x = rng.uniform();
+  v[1234] = 7.5;
+  const double m = dpp::transform_reduce(
+      GetParam(), v.size(), -1.0,
+      [](double a, double b) { return a > b ? a : b; },
+      [&](std::size_t i) { return v[i]; });
+  EXPECT_DOUBLE_EQ(m, 7.5);
+}
+
+TEST_P(DppBackends, ArgminFindsGlobalMinimum) {
+  std::vector<double> v(20011);
+  Rng rng(7);
+  for (auto& x : v) x = rng.uniform(1.0, 2.0);
+  v[15000] = 0.25;
+  EXPECT_EQ(dpp::argmin(GetParam(), v.size(),
+                        [&](std::size_t i) { return v[i]; }),
+            15000u);
+}
+
+TEST_P(DppBackends, ArgminBreaksTiesToLowestIndex) {
+  std::vector<double> v(10000, 1.0);
+  v[100] = 0.0;
+  v[9000] = 0.0;
+  EXPECT_EQ(dpp::argmin(GetParam(), v.size(),
+                        [&](std::size_t i) { return v[i]; }),
+            100u);
+}
+
+TEST_P(DppBackends, ExclusiveScanMatchesReference) {
+  Rng rng(8);
+  std::vector<std::uint64_t> v(33333), out(33333);
+  for (auto& x : v) x = rng.below(50);
+  const auto total = dpp::exclusive_scan<std::uint64_t>(GetParam(), v, out);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(out[i], acc) << "at index " << i;
+    acc += v[i];
+  }
+  EXPECT_EQ(total, acc);
+}
+
+TEST_P(DppBackends, ExclusiveScanAliasedInOut) {
+  std::vector<std::uint32_t> v(12345, 1);
+  const auto total = dpp::exclusive_scan<std::uint32_t>(
+      GetParam(), std::span<const std::uint32_t>(v), std::span<std::uint32_t>(v));
+  EXPECT_EQ(total, 12345u);
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST_P(DppBackends, InclusiveScanMatchesReference) {
+  std::vector<int> v(4096, 2), out(4096);
+  dpp::inclusive_scan<int>(GetParam(), v, out);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i + 1));
+}
+
+TEST_P(DppBackends, GatherPermutes) {
+  std::vector<double> in{10, 20, 30, 40, 50};
+  std::vector<std::uint32_t> map{4, 3, 2, 1, 0};
+  std::vector<double> out(5);
+  dpp::gather<double, std::uint32_t>(GetParam(), in, map, out);
+  EXPECT_EQ(out, (std::vector<double>{50, 40, 30, 20, 10}));
+}
+
+TEST_P(DppBackends, ScatterInvertsGather) {
+  Rng rng(9);
+  const std::size_t n = 8192;
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  std::vector<float> in(n), mid(n), back(n);
+  for (auto& x : in) x = static_cast<float>(rng.uniform());
+  dpp::gather<float, std::uint32_t>(GetParam(), in, perm, mid);
+  dpp::scatter<float, std::uint32_t>(GetParam(), mid, perm, back);
+  EXPECT_EQ(in, back);
+}
+
+TEST_P(DppBackends, SortIndicesByKeyIsStableSorted) {
+  Rng rng(10);
+  std::vector<std::uint32_t> keys(30000);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(100));
+  std::vector<std::uint32_t> idx;
+  dpp::sort_indices_by_key<std::uint32_t>(GetParam(), keys, idx);
+  ASSERT_EQ(idx.size(), keys.size());
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    ASSERT_LE(keys[idx[i - 1]], keys[idx[i]]);
+    if (keys[idx[i - 1]] == keys[idx[i]]) {
+      ASSERT_LT(idx[i - 1], idx[i]) << "stability violated";
+    }
+  }
+  // Must be a permutation.
+  std::vector<std::uint32_t> sorted_idx = idx;
+  std::sort(sorted_idx.begin(), sorted_idx.end());
+  for (std::size_t i = 0; i < sorted_idx.size(); ++i)
+    ASSERT_EQ(sorted_idx[i], i);
+}
+
+TEST_P(DppBackends, BucketCountMatchesManualCounts) {
+  Rng rng(11);
+  std::vector<std::uint16_t> keys(44100);
+  for (auto& k : keys) k = static_cast<std::uint16_t>(rng.below(37));
+  auto counts = dpp::bucket_count<std::uint16_t>(GetParam(), keys, 37);
+  std::vector<std::uint64_t> expect(37, 0);
+  for (auto k : keys) ++expect[k];
+  EXPECT_EQ(counts, expect);
+}
+
+TEST_P(DppBackends, BucketCountRejectsOutOfRangeKey) {
+  std::vector<std::uint16_t> keys{0, 5, 36, 37};
+  EXPECT_THROW(dpp::bucket_count<std::uint16_t>(GetParam(), keys, 37),
+               Error);
+}
+
+TEST_P(DppBackends, CopyIfIndexKeepsOrder) {
+  const std::size_t n = 25000;
+  auto evens =
+      dpp::copy_if_index(GetParam(), n, [](std::size_t i) { return i % 2 == 0; });
+  ASSERT_EQ(evens.size(), n / 2);
+  for (std::size_t i = 0; i < evens.size(); ++i)
+    ASSERT_EQ(evens[i], 2 * i);
+}
+
+TEST_P(DppBackends, CopyIfIndexEmptyResult) {
+  auto none = dpp::copy_if_index(GetParam(), 1000, [](std::size_t) { return false; });
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(DppPool, WorkersAtLeastTwo) {
+  EXPECT_GE(dpp::ThreadPool::instance().workers(), 2u);
+}
+
+TEST(DppPool, BackendsAgreeOnLargeReduction) {
+  Rng rng(12);
+  std::vector<std::int64_t> v(200000);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.below(1 << 20));
+  EXPECT_EQ(dpp::reduce<std::int64_t>(Backend::Serial, v),
+            dpp::reduce<std::int64_t>(Backend::ThreadPool, v));
+}
+
+TEST(DppPool, ArgminEmptyThrows) {
+  EXPECT_THROW(
+      dpp::argmin(Backend::Serial, 0, [](std::size_t) { return 0.0; }),
+      Error);
+}
+
+}  // namespace

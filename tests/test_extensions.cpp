@@ -1,0 +1,391 @@
+// Tests for the paper-adjacent extensions: the CRTP static pipeline
+// (§3.1 footnote), computational steering (live reconfiguration, §3.1),
+// and halo concentration (Table 1's Level 3 product).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <thread>
+
+#include "core/algorithms.h"
+#include "core/static_pipeline.h"
+#include "core/steering.h"
+#include "sim/synthetic.h"
+#include "stats/concentration.h"
+
+namespace {
+
+using namespace cosmo;
+using namespace cosmo::core;
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- static pipeline
+
+class CountingAlgorithm : public InSituAlgorithm {
+ public:
+  void SetParameters(const ParameterMap& p) override {
+    cadence_ = static_cast<std::size_t>(p.get_int("cadence", 1));
+  }
+  bool ShouldExecute(const sim::StepContext& s) const override {
+    return s.step % cadence_ == 0;
+  }
+  void Execute(const sim::StepContext&, AnalysisContext&) override {
+    ++executions_;
+  }
+  std::string Name() const override { return "counting"; }
+
+  std::size_t cadence_ = 1;
+  int executions_ = 0;
+};
+
+class OrderProbe : public InSituAlgorithm {
+ public:
+  void SetParameters(const ParameterMap&) override {}
+  bool ShouldExecute(const sim::StepContext&) const override { return true; }
+  void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
+    // Record execution order on the shared blackboard (abusing deferred_ids
+    // as a scratch list is fine for a test probe).
+    ctx.deferred_ids.push_back(marker);
+  }
+  std::string Name() const override { return "order"; }
+  std::int64_t marker = 0;
+};
+
+TEST(StaticPipeline, ConfiguresAndExecutesOnCadence) {
+  StaticPipeline<CountingAlgorithm> pipeline;
+  pipeline.configure(CosmoToolsConfig::parse("[counting]\ncadence 3\n"));
+  EXPECT_EQ(pipeline.get<CountingAlgorithm>().cadence_, 3u);
+  AnalysisContext ctx;
+  for (std::size_t s = 1; s <= 9; ++s) {
+    sim::StepContext step{s, 9, 1.0, 0.0};
+    pipeline.execute_step(step, ctx);
+  }
+  EXPECT_EQ(pipeline.get<CountingAlgorithm>().executions_, 3);
+}
+
+TEST(StaticPipeline, PreservesDeclarationOrder) {
+  OrderProbe a, b;
+  a.marker = 1;
+  b.marker = 2;
+  // Distinct types are required by get<>, but order is positional: wrap one.
+  struct OrderProbe2 : OrderProbe {};
+  OrderProbe2 b2;
+  b2.marker = 2;
+  StaticPipeline<OrderProbe, OrderProbe2> pipeline(a, b2);
+  AnalysisContext ctx;
+  sim::StepContext step{1, 1, 1.0, 0.0};
+  pipeline.execute_step(step, ctx);
+  ASSERT_EQ(ctx.deferred_ids.size(), 2u);
+  EXPECT_EQ(ctx.deferred_ids[0], 1);
+  EXPECT_EQ(ctx.deferred_ids[1], 2);
+}
+
+TEST(StaticPipeline, MatchesVirtualManagerResults) {
+  // The same HaloFinder+CenterFinder algorithms produce the same catalog
+  // through either dispatch path.
+  sim::SyntheticConfig ucfg;
+  ucfg.box = 32.0;
+  ucfg.halo_count = 8;
+  ucfg.min_particles = 80;
+  ucfg.max_particles = 600;
+  ucfg.background_particles = 300;
+  ucfg.subclump_fraction = 0.0;
+  const auto config = CosmoToolsConfig::parse(
+      "[halofinder]\nlinking_length 0.3\nmin_size 40\noverload 2.0\n"
+      "[centerfinder]\nthreshold 0\n");
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;
+    auto u1 = sim::generate_synthetic(c, cosmo, ucfg);
+    auto u2 = u1;
+    sim::SlabDecomposition decomp(1, ucfg.box);
+    sim::StepContext step{1, 1, 1.0, 0.0};
+
+    InSituAnalysisManager manager(c, decomp, ucfg.box, u1.total_particles);
+    manager.add(std::make_unique<HaloFinderAlgorithm>());
+    manager.add(std::make_unique<CenterFinderAlgorithm>());
+    manager.configure(config);
+    auto virt = manager.execute_step(step, u1.local);
+
+    StaticPipeline<HaloFinderAlgorithm, CenterFinderAlgorithm> pipeline;
+    pipeline.configure(config);
+    AnalysisContext ctx;
+    ctx.comm = &c;
+    ctx.decomp = &decomp;
+    ctx.particles = &u2.local;
+    ctx.box = ucfg.box;
+    ctx.total_particles = u2.total_particles;
+    pipeline.execute_step(step, ctx);
+
+    ASSERT_EQ(virt.catalog.size(), ctx.catalog.size());
+    for (std::size_t i = 0; i < virt.catalog.size(); ++i) {
+      EXPECT_EQ(virt.catalog[i].id, ctx.catalog[i].id);
+      EXPECT_EQ(virt.catalog[i].count, ctx.catalog[i].count);
+      EXPECT_FLOAT_EQ(virt.catalog[i].cx, ctx.catalog[i].cx);
+    }
+  });
+}
+
+// ------------------------------------------------------------------ steering
+
+class SteeringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("steer_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void write_config(const std::string& text) {
+    std::ofstream(dir_ / "cosmotools.cfg") << text;
+  }
+  fs::path dir_;
+};
+
+TEST_F(SteeringTest, ReloadsOnFileChange) {
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::SlabDecomposition decomp(1, 64.0);
+    InSituAnalysisManager manager(c, decomp, 64.0, 100);
+    auto probe = std::make_unique<CountingAlgorithm>();
+    auto* raw = probe.get();
+    manager.add(std::move(probe));
+
+    SteeringFile steer(dir_ / "cosmotools.cfg");
+    write_config("[counting]\ncadence 2\n");
+    EXPECT_TRUE(steer.poll(manager));
+    EXPECT_EQ(raw->cadence_, 2u);
+    // No change → no reload.
+    EXPECT_FALSE(steer.poll(manager));
+    EXPECT_EQ(steer.reload_count(), 1u);
+    // The scientist edits the file mid-run (ensure a newer mtime).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    write_config("[counting]\ncadence 7\n");
+    fs::last_write_time(dir_ / "cosmotools.cfg",
+                        fs::file_time_type::clock::now() +
+                            std::chrono::seconds(1));
+    EXPECT_TRUE(steer.poll(manager));
+    EXPECT_EQ(raw->cadence_, 7u);
+    EXPECT_EQ(steer.reload_count(), 2u);
+  });
+}
+
+TEST_F(SteeringTest, MissingFileIsSilentlyIgnored) {
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::SlabDecomposition decomp(1, 64.0);
+    InSituAnalysisManager manager(c, decomp, 64.0, 100);
+    SteeringFile steer(dir_ / "does-not-exist.cfg");
+    EXPECT_FALSE(steer.poll(manager));
+    EXPECT_EQ(steer.reload_count(), 0u);
+  });
+}
+
+TEST_F(SteeringTest, MalformedEditThrowsWithoutReconfiguring) {
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::SlabDecomposition decomp(1, 64.0);
+    InSituAnalysisManager manager(c, decomp, 64.0, 100);
+    auto probe = std::make_unique<CountingAlgorithm>();
+    auto* raw = probe.get();
+    manager.add(std::move(probe));
+    SteeringFile steer(dir_ / "cosmotools.cfg");
+    write_config("[counting]\ncadence 4\n");
+    steer.poll(manager);
+    EXPECT_EQ(raw->cadence_, 4u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    write_config("[broken\n");
+    fs::last_write_time(dir_ / "cosmotools.cfg",
+                        fs::file_time_type::clock::now() +
+                            std::chrono::seconds(1));
+    EXPECT_THROW(steer.poll(manager), Error);
+    EXPECT_EQ(raw->cadence_, 4u);  // previous configuration still active
+  });
+}
+
+// ------------------------------------------------------------- concentration
+
+TEST(Concentration, HalfMassFractionIsMonotone) {
+  double prev = 1.0;
+  for (double c : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const double x = stats::nfw_half_mass_fraction(c);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_LT(x, prev) << "more concentrated → smaller half-mass radius";
+    prev = x;
+  }
+}
+
+TEST(Concentration, RecoversPlantedNfwConcentration) {
+  // Sample an NFW halo with known c; the estimator should land near it.
+  for (double c_true : {4.0, 8.0}) {
+    Rng rng(77);
+    sim::ParticleSet p;
+    const double r_vir = 1.0;
+    const std::size_t n = 20000;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Invert μ for an exact NFW radial sample.
+      const double u = rng.uniform();
+      double lo = 0.0, hi = c_true;
+      const double target = u * (std::log1p(c_true) - c_true / (1 + c_true));
+      for (int it = 0; it < 50; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double mu = std::log1p(mid) - mid / (1 + mid);
+        (mu < target ? lo : hi) = mid;
+      }
+      const double r = 0.5 * (lo + hi) / c_true * r_vir;
+      const double cz = rng.uniform(-1, 1), ph = rng.uniform(0, 2 * M_PI);
+      const double s = std::sqrt(1 - cz * cz);
+      p.push_back(static_cast<float>(5 + r * s * std::cos(ph)),
+                  static_cast<float>(5 + r * s * std::sin(ph)),
+                  static_cast<float>(5 + r * cz), 0, 0, 0,
+                  static_cast<std::int64_t>(i));
+    }
+    std::vector<std::uint32_t> members(n);
+    std::iota(members.begin(), members.end(), 0u);
+    auto half = stats::concentration(p, members, 5, 5, 5);
+    EXPECT_NEAR(half.c, c_true, 0.25 * c_true) << "half-mass, c_true=" << c_true;
+    auto fit = stats::concentration_profile_fit(p, members, 5, 5, 5);
+    EXPECT_NEAR(fit.c, c_true, 0.3 * c_true) << "profile fit, c_true=" << c_true;
+  }
+}
+
+TEST(Concentration, OffCenterUnderestimates) {
+  // §3.3.2: "if the center is not exactly at the density maximum, the
+  // concentration will be underestimated."
+  Rng rng(78);
+  sim::ParticleSet p;
+  const double c_true = 8.0;
+  for (std::size_t i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    double lo = 0.0, hi = c_true;
+    const double target = u * (std::log1p(c_true) - c_true / (1 + c_true));
+    for (int it = 0; it < 50; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double mu = std::log1p(mid) - mid / (1 + mid);
+      (mu < target ? lo : hi) = mid;
+    }
+    const double r = 0.5 * (lo + hi) / c_true;
+    const double cz = rng.uniform(-1, 1), ph = rng.uniform(0, 2 * M_PI);
+    const double s = std::sqrt(1 - cz * cz);
+    p.push_back(static_cast<float>(5 + r * s * std::cos(ph)),
+                static_cast<float>(5 + r * s * std::sin(ph)),
+                static_cast<float>(5 + r * cz), 0, 0, 0,
+                static_cast<std::int64_t>(i));
+  }
+  std::vector<std::uint32_t> members(p.size());
+  std::iota(members.begin(), members.end(), 0u);
+  auto good = stats::concentration_profile_fit(p, members, 5, 5, 5);
+  auto bad = stats::concentration_profile_fit(p, members, 5.3, 5, 5);
+  ASSERT_GT(good.c, 0.0);
+  ASSERT_GT(bad.c, 0.0);
+  EXPECT_LT(bad.c, 0.8 * good.c)
+      << "an off-center profile must flatten the core and lower c";
+}
+
+TEST(Concentration, TooFewParticlesIndeterminate) {
+  sim::ParticleSet p;
+  for (int i = 0; i < 10; ++i) p.push_back(1, 1, 1, 0, 0, 0, i);
+  std::vector<std::uint32_t> members(p.size());
+  std::iota(members.begin(), members.end(), 0u);
+  EXPECT_EQ(stats::concentration(p, members, 1, 1, 1).c, 0.0);
+}
+
+TEST(Shapes, AlgorithmFillsAxisRatios) {
+  sim::SyntheticConfig ucfg;
+  ucfg.box = 32.0;
+  ucfg.halo_count = 5;
+  ucfg.min_particles = 300;
+  ucfg.max_particles = 900;
+  ucfg.background_particles = 0;
+  ucfg.subclump_fraction = 0.0;
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;
+    auto u = sim::generate_synthetic(c, cosmo, ucfg);
+    sim::SlabDecomposition decomp(1, ucfg.box);
+    InSituAnalysisManager manager(c, decomp, ucfg.box, u.total_particles);
+    manager.add(std::make_unique<HaloFinderAlgorithm>());
+    manager.add(std::make_unique<CenterFinderAlgorithm>());
+    manager.add(std::make_unique<ShapeAlgorithm>());
+    manager.configure(CosmoToolsConfig::parse(
+        "[halofinder]\nlinking_length 0.35\nmin_size 100\noverload 2.0\n"
+        "[centerfinder]\nthreshold 0\n[shapes]\nmin_size 100\n"));
+    sim::StepContext step{1, 1, 1.0, 0.0};
+    auto ctx = manager.execute_step(step, u.local);
+    ASSERT_FALSE(ctx.catalog.empty());
+    for (const auto& rec : ctx.catalog) {
+      // NFW halos are isotropically sampled: roughly round.
+      EXPECT_GT(rec.b_over_a, 0.5f) << "halo " << rec.id;
+      EXPECT_LE(rec.b_over_a, 1.0f + 1e-5f);
+      EXPECT_GT(rec.c_over_a, 0.4f);
+      EXPECT_LE(rec.c_over_a, rec.b_over_a + 1e-5f);
+    }
+  });
+}
+
+TEST(Subhalos, BhEngineConfigurable) {
+  sim::SyntheticConfig ucfg;
+  ucfg.box = 32.0;
+  ucfg.halo_count = 1;
+  ucfg.min_particles = 6000;
+  ucfg.max_particles = 6000;
+  ucfg.background_particles = 0;
+  ucfg.subclump_fraction = 0.2;
+  ucfg.subclump_min_host = 5000;
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;
+    auto u = sim::generate_synthetic(c, cosmo, ucfg);
+    sim::SlabDecomposition decomp(1, ucfg.box);
+    auto run_with = [&](const char* engine) {
+      auto local = u.local;
+      InSituAnalysisManager manager(c, decomp, ucfg.box, u.total_particles);
+      register_halo_pipeline(manager);
+      manager.configure(CosmoToolsConfig::parse(
+          std::string("[halofinder]\nlinking_length 0.35\nmin_size 100\n"
+                      "overload 3.0\n[centerfinder]\nthreshold 0\n"
+                      "[somass]\nenabled false\n"
+                      "[subhalos]\nmin_host 4000\nengine ") +
+          engine + "\n"));
+      sim::StepContext step{1, 1, 1.0, 0.0};
+      auto ctx = manager.execute_step(step, local);
+      std::uint32_t subs = 0;
+      for (const auto& rec : ctx.catalog) subs += rec.subhalos;
+      return subs;
+    };
+    EXPECT_EQ(run_with("kd"), run_with("bh"))
+        << "both engines must find the same substructure";
+  });
+}
+
+TEST(Concentration, AlgorithmFillsCatalogField) {
+  sim::SyntheticConfig ucfg;
+  ucfg.box = 32.0;
+  ucfg.halo_count = 6;
+  ucfg.min_particles = 400;
+  ucfg.max_particles = 1500;
+  ucfg.background_particles = 0;
+  ucfg.subclump_fraction = 0.0;
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;
+    auto u = sim::generate_synthetic(c, cosmo, ucfg);
+    sim::SlabDecomposition decomp(1, ucfg.box);
+    InSituAnalysisManager manager(c, decomp, ucfg.box, u.total_particles);
+    manager.add(std::make_unique<HaloFinderAlgorithm>());
+    manager.add(std::make_unique<CenterFinderAlgorithm>());
+    manager.add(std::make_unique<ConcentrationAlgorithm>());
+    manager.configure(CosmoToolsConfig::parse(
+        "[halofinder]\nlinking_length 0.35\nmin_size 100\noverload 2.0\n"
+        "[centerfinder]\nthreshold 0\n[concentration]\nmin_size 100\n"));
+    sim::StepContext step{1, 1, 1.0, 0.0};
+    auto ctx = manager.execute_step(step, u.local);
+    ASSERT_FALSE(ctx.catalog.empty());
+    std::size_t with_c = 0;
+    for (const auto& rec : ctx.catalog)
+      if (rec.concentration > 0.0f) ++with_c;
+    EXPECT_GT(with_c, 0u) << "no halo got a concentration estimate";
+  });
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Tests for the FFT stack: 1-D analytic transforms, 3-D round trips,
+// Parseval's theorem, and distributed-vs-local equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "comm/comm.h"
+#include "fft/distributed_fft.h"
+#include "fft/fft.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cosmo;
+using fft::Complex;
+
+TEST(Fft1d, DeltaTransformsToConstant) {
+  std::vector<Complex> v(16, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  fft::fft_1d(v, false);
+  for (const auto& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, ConstantTransformsToDelta) {
+  std::vector<Complex> v(32, Complex(2.0, 0));
+  fft::fft_1d(v, false);
+  EXPECT_NEAR(v[0].real(), 64.0, 1e-10);
+  for (std::size_t i = 1; i < v.size(); ++i)
+    EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-10);
+}
+
+TEST(Fft1d, SingleModeLandsInSingleBin) {
+  const std::size_t n = 64;
+  const std::size_t k = 5;
+  std::vector<Complex> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(k * i) /
+                         static_cast<double>(n);
+    v[i] = Complex(std::cos(phase), std::sin(phase));
+  }
+  fft::fft_1d(v, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == k)
+      EXPECT_NEAR(v[i].real(), static_cast<double>(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-9) << "bin " << i;
+  }
+}
+
+TEST(Fft1d, RoundTripRecoversInput) {
+  Rng rng(3);
+  std::vector<Complex> v(256), orig;
+  for (auto& c : v) c = Complex(rng.normal(), rng.normal());
+  orig = v;
+  fft::fft_1d(v, false);
+  fft::fft_1d(v, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real() / 256.0, orig[i].real(), 1e-10);
+    EXPECT_NEAR(v[i].imag() / 256.0, orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  Rng rng(4);
+  const std::size_t n = 512;
+  std::vector<Complex> v(n);
+  double time_energy = 0.0;
+  for (auto& c : v) {
+    c = Complex(rng.normal(), rng.normal());
+    time_energy += std::norm(c);
+  }
+  fft::fft_1d(v, false);
+  double freq_energy = 0.0;
+  for (const auto& c : v) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(12);
+  EXPECT_THROW(fft::fft_1d(v, false), Error);
+}
+
+TEST(Fft1d, LengthOneIsIdentity) {
+  std::vector<Complex> v{Complex(3.5, -1.25)};
+  fft::fft_1d(v, false);
+  EXPECT_DOUBLE_EQ(v[0].real(), 3.5);
+  EXPECT_DOUBLE_EQ(v[0].imag(), -1.25);
+}
+
+TEST(FreqIndex, SignedFrequencies) {
+  EXPECT_EQ(fft::freq_index(0, 8), 0);
+  EXPECT_EQ(fft::freq_index(3, 8), 3);
+  EXPECT_EQ(fft::freq_index(4, 8), 4);   // Nyquist stays positive
+  EXPECT_EQ(fft::freq_index(5, 8), -3);
+  EXPECT_EQ(fft::freq_index(7, 8), -1);
+}
+
+TEST(Fft3d, RoundTripRecoversInput) {
+  Rng rng(5);
+  fft::Grid3 g(8, 8, 8);
+  std::vector<Complex> orig(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g.flat()[i] = Complex(rng.normal(), rng.normal());
+    orig[i] = g.flat()[i];
+  }
+  fft::fft_3d(g, false);
+  fft::fft_3d(g, true);
+  const double scale = 1.0 / 512.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(g.flat()[i].real() * scale, orig[i].real(), 1e-10);
+    EXPECT_NEAR(g.flat()[i].imag() * scale, orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft3d, PlaneWaveSingleMode) {
+  const std::size_t n = 8;
+  fft::Grid3 g(n, n, n);
+  const std::size_t kx = 2, ky = 1, kz = 3;
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const double phase = 2.0 * std::numbers::pi *
+                             static_cast<double>(kx * x + ky * y + kz * z) /
+                             static_cast<double>(n);
+        g.at(x, y, z) = Complex(std::cos(phase), std::sin(phase));
+      }
+  fft::fft_3d(g, false);
+  const double total = static_cast<double>(n * n * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const double expect = (x == kx && y == ky && z == kz) ? total : 0.0;
+        ASSERT_NEAR(std::abs(g.at(x, y, z)), expect, 1e-8)
+            << x << "," << y << "," << z;
+      }
+}
+
+class DistFft : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistFft, ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+TEST_P(DistFft, MatchesLocalTransform) {
+  const int P = GetParam();
+  const std::size_t n = 8;
+  // Build the same random field locally and distributed; compare spectra.
+  Rng rng(17);
+  fft::Grid3 local(n, n, n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x)
+        local.at(x, y, z) = Complex(rng.normal(), rng.normal());
+  fft::Grid3 reference = local;
+  fft::fft_3d(reference, false);
+
+  comm::run_spmd(P, [&](comm::Comm& c) {
+    fft::DistributedFft dfft(c, n);
+    const std::size_t nzl = dfft.slab_thickness();
+    const std::size_t z0 = dfft.slab_start();
+    std::vector<Complex> slab(dfft.local_size());
+    for (std::size_t zl = 0; zl < nzl; ++zl)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t x = 0; x < n; ++x)
+          slab[(zl * n + y) * n + x] = local.at(x, y, z0 + zl);
+    dfft.forward(slab);
+    // Transposed layout: rank owns ky rows [y0, y0+nzl), kz contiguous.
+    for (std::size_t kyl = 0; kyl < nzl; ++kyl)
+      for (std::size_t kx = 0; kx < n; ++kx)
+        for (std::size_t kz = 0; kz < n; ++kz) {
+          const Complex got = slab[(kyl * n + kx) * n + kz];
+          const Complex want = reference.at(kx, z0 + kyl, kz);
+          ASSERT_NEAR(got.real(), want.real(), 1e-8);
+          ASSERT_NEAR(got.imag(), want.imag(), 1e-8);
+        }
+  });
+}
+
+TEST_P(DistFft, RoundTripRecoversSlab) {
+  const int P = GetParam();
+  const std::size_t n = 16;
+  comm::run_spmd(P, [&](comm::Comm& c) {
+    fft::DistributedFft dfft(c, n);
+    Rng rng(100 + static_cast<std::uint64_t>(c.rank()));
+    std::vector<Complex> slab(dfft.local_size()), orig;
+    for (auto& v : slab) v = Complex(rng.normal(), rng.normal());
+    orig = slab;
+    dfft.forward(slab);
+    dfft.inverse(slab);
+    for (std::size_t i = 0; i < slab.size(); ++i) {
+      ASSERT_NEAR(slab[i].real(), orig[i].real(), 1e-9);
+      ASSERT_NEAR(slab[i].imag(), orig[i].imag(), 1e-9);
+    }
+  });
+}
+
+TEST(DistFftErrors, RejectsIndivisibleGrid) {
+  comm::run_spmd(3, [&](comm::Comm& c) {
+    EXPECT_THROW(fft::DistributedFft(c, 8), Error);
+  });
+}
+
+TEST(DistFftErrors, RejectsWrongSlabSize) {
+  comm::run_spmd(2, [&](comm::Comm& c) {
+    fft::DistributedFft dfft(c, 8);
+    std::vector<Complex> bad(dfft.local_size() - 1);
+    EXPECT_THROW(dfft.forward(bad), Error);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,348 @@
+// Robustness and edge-case sweep across modules: degenerate inputs, size
+// extremes, and cross-module properties not covered by the per-module
+// suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <numeric>
+
+#include "comm/comm.h"
+#include "core/workflows.h"
+#include "fft/fft.h"
+#include "halo/fof.h"
+#include "halo/so_mass.h"
+#include "io/cosmo_io.h"
+#include "sched/batch_scheduler.h"
+#include "sim/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cosmo;
+namespace fs = std::filesystem;
+
+// -------------------------------------------------------------------- comm
+
+TEST(CommRobustness, MegabyteMessageSurvives) {
+  comm::run_spmd(2, [&](comm::Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> big(1 << 17);  // 1 MiB
+      Rng rng(1);
+      for (auto& v : big) v = rng.uniform();
+      c.send<double>(1, 5, big);
+      c.send_value<double>(1, 6, big[12345]);
+    } else {
+      auto big = c.recv<double>(0, 5);
+      ASSERT_EQ(big.size(), std::size_t{1} << 17);
+      EXPECT_DOUBLE_EQ(c.recv_value<double>(0, 6), big[12345]);
+    }
+  });
+}
+
+TEST(CommRobustness, ManyInterleavedTags) {
+  comm::run_spmd(2, [&](comm::Comm& c) {
+    constexpr int kTags = 64;
+    if (c.rank() == 0) {
+      for (int t = 0; t < kTags; ++t) c.send_value<int>(1, t, 1000 + t);
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not arrival.
+      for (int t = kTags - 1; t >= 0; --t)
+        EXPECT_EQ(c.recv_value<int>(0, t), 1000 + t);
+    }
+  });
+}
+
+TEST(CommRobustness, AlltoallvWithEmptyAndFatBuffers) {
+  comm::run_spmd(4, [&](comm::Comm& c) {
+    std::vector<std::vector<int>> send(4);
+    // Only send to rank (r+1)%4, nothing to others.
+    send[static_cast<std::size_t>((c.rank() + 1) % 4)] =
+        std::vector<int>(1000, c.rank());
+    auto recv = c.alltoallv(send);
+    for (int src = 0; src < 4; ++src) {
+      if ((src + 1) % 4 == c.rank()) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(src)].size(), 1000u);
+        EXPECT_EQ(recv[static_cast<std::size_t>(src)][0], src);
+      } else {
+        EXPECT_TRUE(recv[static_cast<std::size_t>(src)].empty());
+      }
+    }
+  });
+}
+
+// --------------------------------------------------------------------- dpp
+
+TEST(DppRobustness, SizeOneEverything) {
+  using dpp::Backend;
+  for (auto b : {Backend::Serial, Backend::ThreadPool}) {
+    std::vector<int> one{7}, out(1);
+    EXPECT_EQ(dpp::reduce<int>(b, one), 7);
+    EXPECT_EQ(dpp::exclusive_scan<int>(b, one, out), 7);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(dpp::argmin(b, 1, [](std::size_t) { return 3.0; }), 0u);
+  }
+}
+
+TEST(DppRobustness, SortHandlesPreSortedAndReverse) {
+  using dpp::Backend;
+  const std::size_t n = 10000;
+  for (auto b : {Backend::Serial, Backend::ThreadPool}) {
+    std::vector<std::uint32_t> asc(n), desc(n), idx;
+    std::iota(asc.begin(), asc.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) desc[i] = static_cast<std::uint32_t>(n - i);
+    dpp::sort_indices_by_key<std::uint32_t>(b, asc, idx);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(idx[i], i);
+    dpp::sort_indices_by_key<std::uint32_t>(b, desc, idx);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(idx[i], n - 1 - i);
+  }
+}
+
+TEST(DppRobustness, ArgminAtBoundaries) {
+  std::vector<double> v(5000, 1.0);
+  v.front() = -1.0;
+  EXPECT_EQ(dpp::argmin(dpp::Backend::ThreadPool, v.size(),
+                        [&](std::size_t i) { return v[i]; }),
+            0u);
+  v.front() = 1.0;
+  v.back() = -1.0;
+  EXPECT_EQ(dpp::argmin(dpp::Backend::ThreadPool, v.size(),
+                        [&](std::size_t i) { return v[i]; }),
+            v.size() - 1);
+}
+
+// --------------------------------------------------------------------- fft
+
+TEST(FftRobustness, NonCubicGridRoundTrip) {
+  fft::Grid3 g(4, 8, 16);
+  Rng rng(2);
+  std::vector<fft::Complex> orig(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g.flat()[i] = fft::Complex(rng.normal(), rng.normal());
+    orig[i] = g.flat()[i];
+  }
+  fft::fft_3d(g, false);
+  fft::fft_3d(g, true);
+  const double scale = 1.0 / 512.0;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    ASSERT_NEAR(g.flat()[i].real() * scale, orig[i].real(), 1e-10);
+}
+
+TEST(FftRobustness, LinearityProperty) {
+  Rng rng(3);
+  const std::size_t n = 128;
+  std::vector<fft::Complex> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = fft::Complex(rng.normal(), rng.normal());
+    b[i] = fft::Complex(rng.normal(), rng.normal());
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft::fft_1d(a, false);
+  fft::fft_1d(b, false);
+  fft::fft_1d(sum, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto expect = a[i] + 2.0 * b[i];
+    ASSERT_NEAR(sum[i].real(), expect.real(), 1e-9);
+    ASSERT_NEAR(sum[i].imag(), expect.imag(), 1e-9);
+  }
+}
+
+// -------------------------------------------------------------------- halo
+
+TEST(HaloRobustness, CoincidentParticlesFormOneHalo) {
+  sim::ParticleSet p;
+  for (int i = 0; i < 50; ++i) p.push_back(5, 5, 5, 0, 0, 0, i);
+  halo::FofConfig cfg;
+  cfg.linking_length = 0.1;
+  cfg.min_size = 10;
+  auto halos = halo::fof_find(p, halo::Periodicity::all(10.0), cfg);
+  ASSERT_EQ(halos.size(), 1u);
+  EXPECT_EQ(halos[0].members.size(), 50u);
+  EXPECT_EQ(halos[0].id, 0);
+}
+
+TEST(HaloRobustness, MinSizeOneKeepsIsolatedParticles) {
+  sim::ParticleSet p;
+  p.push_back(1, 1, 1, 0, 0, 0, 0);
+  p.push_back(8, 8, 8, 0, 0, 0, 1);
+  halo::FofConfig cfg;
+  cfg.linking_length = 0.5;
+  cfg.min_size = 1;
+  auto halos = halo::fof_find(p, halo::Periodicity::all(10.0), cfg);
+  EXPECT_EQ(halos.size(), 2u);
+}
+
+TEST(HaloRobustness, EmptyParticleSetFofIsEmpty) {
+  sim::ParticleSet p;
+  halo::FofConfig cfg;
+  EXPECT_TRUE(halo::fof_find(p, {}, cfg).empty());
+}
+
+TEST(HaloRobustness, SoMassWithCenterOutsideCloud) {
+  Rng rng(4);
+  sim::ParticleSet p;
+  for (int i = 0; i < 500; ++i)
+    p.push_back(static_cast<float>(rng.normal(5, 0.2)),
+                static_cast<float>(rng.normal(5, 0.2)),
+                static_cast<float>(rng.normal(5, 0.2)), 0, 0, 0, i);
+  std::vector<std::uint32_t> members(p.size());
+  std::iota(members.begin(), members.end(), 0u);
+  halo::SoConfig cfg;
+  cfg.delta = 200.0;
+  cfg.mean_density = 1.0;
+  // Center far from the cloud: density never reaches the threshold.
+  auto so = halo::so_mass(p, members, 50, 50, 50, cfg);
+  EXPECT_EQ(so.count, 0u);
+}
+
+TEST(HaloRobustness, FofInvariantUnderParticlePermutation) {
+  // Halo ids (min tags) and member-count multisets must not depend on the
+  // order particles are stored in.
+  sim::ParticleSet p;
+  Rng rng(5);
+  for (int blob = 0; blob < 5; ++blob) {
+    const double cx = 2.0 + blob * 1.7;
+    for (int i = 0; i < 80; ++i)
+      p.push_back(static_cast<float>(rng.normal(cx, 0.1)),
+                  static_cast<float>(rng.normal(5, 0.1)),
+                  static_cast<float>(rng.normal(5, 0.1)), 0, 0, 0,
+                  blob * 1000 + i);
+  }
+  halo::FofConfig cfg;
+  cfg.linking_length = 0.35;
+  cfg.min_size = 40;
+  auto ref = halo::fof_find(p, halo::Periodicity::all(12.0), cfg);
+
+  // Shuffle storage order.
+  std::vector<std::uint32_t> perm(p.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  sim::ParticleSet shuffled = p.select(perm);
+  auto got = halo::fof_find(shuffled, halo::Periodicity::all(12.0), cfg);
+
+  auto key = [](const std::vector<halo::FofHalo>& hs) {
+    std::vector<std::pair<std::int64_t, std::size_t>> k;
+    for (const auto& h : hs) k.emplace_back(h.id, h.members.size());
+    std::sort(k.begin(), k.end());
+    return k;
+  };
+  EXPECT_EQ(key(ref), key(got));
+}
+
+// ---------------------------------------------------------------------- io
+
+TEST(IoRobustness, ZeroBlockFileRoundTrips) {
+  const auto path = fs::temp_directory_path() /
+                    ("zero_" + std::to_string(::getpid()) + ".cosmo");
+  {
+    io::CosmoIoWriter w(path, {10.0, 1.0, 0, 0});
+    w.finalize();
+  }
+  io::CosmoIoReader r(path);
+  EXPECT_EQ(r.num_blocks(), 0u);
+  EXPECT_EQ(r.read_all().size(), 0u);
+  fs::remove(path);
+}
+
+TEST(IoRobustness, TruncatedTableIsRejected) {
+  const auto path = fs::temp_directory_path() /
+                    ("trunc_" + std::to_string(::getpid()) + ".cosmo");
+  {
+    io::CosmoIoWriter w(path, {10.0, 1.0, 100, 0});
+    sim::ParticleSet p(100);
+    w.write_block(p, 0);
+    w.finalize();
+  }
+  // Chop the tail (the block table).
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 8);
+  EXPECT_THROW(io::CosmoIoReader r(path), Error);
+  fs::remove(path);
+}
+
+// ------------------------------------------------------------------- sched
+
+TEST(SchedRobustness, ZeroDurationJobCompletesInstantly) {
+  sched::BatchScheduler s({"t", 4, 1.0, 1.0, true, {}});
+  auto id = s.submit("instant", 2, 0.0, 5.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(id).start_time, 5.0);
+  EXPECT_DOUBLE_EQ(s.job(id).end_time, 5.0);
+}
+
+TEST(SchedRobustness, ExactFitFillsMachine) {
+  sched::BatchScheduler s({"t", 8, 1.0, 1.0, true, {}});
+  auto a = s.submit("a", 5, 10.0, 0.0);
+  auto b = s.submit("b", 3, 10.0, 0.0);
+  auto cjob = s.submit("c", 1, 10.0, 0.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(a).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(b).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(cjob).start_time, 10.0);  // machine was exactly full
+}
+
+// --------------------------------------------------------------- workflows
+
+TEST(WorkflowRobustness, SingleRankWorkflowsWork) {
+  core::WorkflowProblem p;
+  p.universe.box = 24.0;
+  p.universe.halo_count = 6;
+  p.universe.min_particles = 60;
+  p.universe.max_particles = 400;
+  p.universe.background_particles = 200;
+  p.universe.subclump_fraction = 0.0;
+  p.ranks = 1;
+  p.analysis_ranks = 1;
+  p.ranks_per_file = 1;
+  p.threshold = 150;
+  p.overload = 2.0;
+  p.workdir = fs::temp_directory_path() /
+              ("wf1_" + std::to_string(::getpid()));
+  auto ri = core::run_workflow(core::WorkflowKind::InSitu, p);
+  auto rc = core::run_workflow(core::WorkflowKind::CombinedSimple, p);
+  ASSERT_EQ(ri.catalog.size(), rc.catalog.size());
+  for (std::size_t i = 0; i < ri.catalog.size(); ++i)
+    EXPECT_EQ(ri.catalog[i].id, rc.catalog[i].id);
+  fs::remove_all(p.workdir);
+}
+
+TEST(WorkflowRobustness, StagingOverflowIsReported) {
+  core::WorkflowProblem p;
+  p.universe.box = 24.0;
+  p.universe.halo_count = 6;
+  p.universe.min_particles = 300;
+  p.universe.max_particles = 900;
+  p.universe.background_particles = 0;
+  p.universe.subclump_fraction = 0.0;
+  p.ranks = 2;
+  p.analysis_ranks = 1;
+  p.threshold = 100;       // defer everything
+  p.overload = 2.0;
+  p.staging_capacity = 64; // absurdly small burst buffer
+  p.workdir = fs::temp_directory_path() /
+              ("wfstage_" + std::to_string(::getpid()));
+  EXPECT_THROW(core::run_workflow(core::WorkflowKind::CombinedInTransit, p),
+               Error);
+  fs::remove_all(p.workdir);
+}
+
+// --------------------------------------------------------------- synthetic
+
+TEST(SyntheticRobustness, LogUniformSlopeOneWorks) {
+  sim::SyntheticConfig cfg;
+  cfg.mass_slope = 1.0;  // the log-uniform special case
+  cfg.halo_count = 50;
+  cfg.min_particles = 40;
+  cfg.max_particles = 4000;
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    sim::Cosmology cosmo;
+    auto u = sim::generate_synthetic(c, cosmo, cfg);
+    for (const auto& t : u.truth) {
+      EXPECT_GE(t.particles, 40u);
+      EXPECT_LE(t.particles, 4001u);
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+// Tests for the co-scheduling substrate: batch scheduler (queue policies,
+// charge accounting), the real filesystem Listener, job templates, and the
+// in-transit staging area.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "sched/batch_scheduler.h"
+#include "sched/listener.h"
+#include "sched/staging.h"
+
+namespace {
+
+using namespace cosmo;
+using namespace cosmo::sched;
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(Scheduler, SingleJobRunsImmediately) {
+  BatchScheduler s({"test", 16, 1.0, 1.0, true, {}});
+  auto id = s.submit("job", 4, 100.0, 0.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(id).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(id).end_time, 100.0);
+  EXPECT_DOUBLE_EQ(s.job(id).wait_s(), 0.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 100.0);
+}
+
+TEST(Scheduler, JobsQueueWhenMachineFull) {
+  BatchScheduler s({"test", 8, 1.0, 1.0, true, {}});
+  auto a = s.submit("a", 8, 50.0, 0.0);
+  auto b = s.submit("b", 8, 50.0, 0.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(a).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(b).start_time, 50.0);  // waits for a
+  EXPECT_DOUBLE_EQ(s.job(b).wait_s(), 50.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 100.0);
+}
+
+TEST(Scheduler, ParallelJobsShareTheMachine) {
+  BatchScheduler s({"test", 8, 1.0, 1.0, true, {}});
+  auto a = s.submit("a", 4, 50.0, 0.0);
+  auto b = s.submit("b", 4, 80.0, 0.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(a).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(b).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 80.0);
+}
+
+TEST(Scheduler, BackfillLetsSmallJobSkipAhead) {
+  // 8-node machine: big job running (6 nodes), then a 6-node job queued,
+  // then a 2-node job. Backfill starts the 2-node job immediately.
+  BatchScheduler s({"test", 8, 1.0, 1.0, true, {}});
+  s.submit("big-running", 6, 100.0, 0.0);
+  auto blocked = s.submit("big-queued", 6, 10.0, 1.0);
+  auto small = s.submit("small", 2, 10.0, 2.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(small).start_time, 2.0);
+  EXPECT_DOUBLE_EQ(s.job(blocked).start_time, 100.0);
+}
+
+TEST(Scheduler, StrictFifoBlocksBackfill) {
+  BatchScheduler s({"test", 8, 1.0, 1.0, true, {0x7fffffff, 0, true}});
+  s.submit("big-running", 6, 100.0, 0.0);
+  s.submit("big-queued", 6, 10.0, 1.0);
+  auto small = s.submit("small", 2, 10.0, 2.0);
+  s.run_to_completion();
+  // The small job cannot pass the queued big job.
+  EXPECT_GE(s.job(small).start_time, 100.0);
+}
+
+TEST(Scheduler, TitanSmallJobPolicyLimitsConcurrency) {
+  // Titan: at most 2 jobs under 125 nodes running simultaneously.
+  BatchScheduler s(MachineProfile::titan());
+  std::vector<JobId> ids;
+  for (int i = 0; i < 5; ++i)
+    ids.push_back(s.submit("analysis" + std::to_string(i), 4, 60.0, 0.0));
+  s.run_to_completion();
+  // With 2 at a time, batch k starts at 60*floor(k/2).
+  std::vector<double> starts;
+  for (auto id : ids) starts.push_back(s.job(id).start_time);
+  std::sort(starts.begin(), starts.end());
+  EXPECT_DOUBLE_EQ(starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(starts[1], 0.0);
+  EXPECT_DOUBLE_EQ(starts[2], 60.0);
+  EXPECT_DOUBLE_EQ(starts[3], 60.0);
+  EXPECT_DOUBLE_EQ(starts[4], 120.0);
+}
+
+TEST(Scheduler, LargeJobsExemptFromSmallJobLimit) {
+  BatchScheduler s(MachineProfile::titan());
+  auto big1 = s.submit("sim", 4096, 100.0, 0.0);
+  auto big2 = s.submit("sim2", 4096, 100.0, 0.0);
+  auto big3 = s.submit("sim3", 4096, 100.0, 0.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(big1).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(big2).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(s.job(big3).start_time, 0.0);
+}
+
+TEST(Scheduler, TitanChargePolicyIs30PerNodeHour) {
+  BatchScheduler s(MachineProfile::titan());
+  s.submit("sim", 32, 3600.0, 0.0);  // 32 nodes for 1 hour
+  s.run_to_completion();
+  EXPECT_NEAR(s.total_core_hours(), 32 * 30.0, 1e-9);
+}
+
+TEST(Scheduler, CoreHourConservation) {
+  // Total charge is independent of queueing order/delays.
+  BatchScheduler s({"t", 4, 2.0, 1.0, true, {}});
+  double expected = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const int nodes = 1 + i % 4;
+    const double dur = 100.0 * (i + 1);
+    s.submit("j" + std::to_string(i), nodes, dur, 10.0 * i);
+    expected += nodes * dur / 3600.0 * 2.0;
+  }
+  s.run_to_completion();
+  EXPECT_NEAR(s.total_core_hours(), expected, 1e-9);
+}
+
+TEST(Scheduler, RejectsOversizedAndPastJobs) {
+  BatchScheduler s({"t", 4, 1.0, 1.0, true, {}});
+  EXPECT_THROW(s.submit("too-big", 5, 10.0, 0.0), Error);
+  EXPECT_THROW(s.submit("negative", 1, -1.0, 0.0), Error);
+  s.submit("ok", 1, 10.0, 5.0);
+  s.run_to_completion();
+  EXPECT_THROW(s.submit("past", 1, 1.0, 0.0), Error);
+}
+
+TEST(Scheduler, SubmitAfterCompletionContinues) {
+  BatchScheduler s({"t", 4, 1.0, 1.0, true, {}});
+  s.submit("first", 2, 10.0, 0.0);
+  s.run_to_completion();
+  auto second = s.submit("second", 2, 10.0, s.now() + 5.0);
+  s.run_to_completion();
+  EXPECT_DOUBLE_EQ(s.job(second).start_time, 15.0);
+}
+
+TEST(Scheduler, MachineProfilesMatchPaperParameters) {
+  const auto titan = MachineProfile::titan();
+  EXPECT_EQ(titan.nodes, 18688);
+  EXPECT_DOUBLE_EQ(titan.charge_per_node_hour, 30.0);
+  EXPECT_EQ(titan.policy.max_small_jobs_running, 2);
+  EXPECT_EQ(titan.policy.small_job_threshold, 125);
+  const auto moonlight = MachineProfile::moonlight();
+  EXPECT_DOUBLE_EQ(moonlight.analysis_speed, 0.55);  // Titan = 0.55× Moonlight
+  const auto rhea = MachineProfile::rhea();
+  EXPECT_FALSE(rhea.has_gpus);
+}
+
+// ---------------------------------------------------------------- templates
+
+TEST(JobTemplate, SubstitutesPlaceholders) {
+  JobTemplate t("#!/bin/bash\nanalyze --step {step} --file {file}\n");
+  const auto script = t.instantiate({{"step", "42"}, {"file", "snap.7.cosmo"}});
+  EXPECT_NE(script.find("--step 42"), std::string::npos);
+  EXPECT_NE(script.find("--file snap.7.cosmo"), std::string::npos);
+}
+
+TEST(JobTemplate, RepeatedPlaceholders) {
+  JobTemplate t("{x}{x}{x}");
+  EXPECT_EQ(t.instantiate({{"x", "ab"}}), "ababab");
+}
+
+TEST(JobTemplate, UnresolvedPlaceholderThrows) {
+  JobTemplate t("run --file {file} --mode {mode}");
+  EXPECT_THROW(t.instantiate({{"file", "a"}}), Error);
+}
+
+// ----------------------------------------------------------------- listener
+
+class ListenerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("listener_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  fs::path dir_;
+};
+
+TEST_F(ListenerTest, FiresOncePerTriggerFile) {
+  std::atomic<int> fired{0};
+  std::vector<std::string> paths;
+  std::mutex m;
+  Listener listener({dir_, ".done", 5ms}, [&](const fs::path& p) {
+    ++fired;
+    std::lock_guard lock(m);
+    paths.push_back(p.filename().string());
+  });
+  listener.start();
+  // Simulate the simulation writing data + trigger for 3 timesteps.
+  for (int step = 0; step < 3; ++step) {
+    std::ofstream(dir_ / ("snap." + std::to_string(step) + ".cosmo")) << "x";
+    std::ofstream(dir_ / ("snap." + std::to_string(step) + ".cosmo.done"))
+        << "ok";
+    std::this_thread::sleep_for(15ms);
+  }
+  ASSERT_TRUE(listener.wait_for_triggers(3, 2000ms));
+  listener.stop();
+  EXPECT_EQ(fired.load(), 3);
+  // Data files must NOT fire (only .done).
+  for (const auto& p : paths)
+    EXPECT_NE(p.find(".done"), std::string::npos);
+}
+
+TEST_F(ListenerTest, PollsMuchFasterThanOutputRate) {
+  Listener listener({dir_, ".done", 2ms}, [](const fs::path&) {});
+  listener.start();
+  std::this_thread::sleep_for(100ms);
+  listener.stop();
+  // §3.2: the listener checks much more often than data appears.
+  EXPECT_GE(listener.stats().polls, 10u);
+}
+
+TEST_F(ListenerTest, FinalSweepCatchesLateFiles) {
+  std::atomic<int> fired{0};
+  Listener listener({dir_, ".done", 1000ms},  // long interval: thread asleep
+                    [&](const fs::path&) { ++fired; });
+  listener.start();
+  std::this_thread::sleep_for(20ms);
+  // File appears "at the very end of the main application's execution".
+  std::ofstream(dir_ / "last.done") << "ok";
+  listener.stop();  // stop() runs the extra final sweep
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST_F(ListenerTest, TriggersDriveJobSubmission) {
+  // The full co-scheduling loop: trigger -> template -> scheduler submit.
+  BatchScheduler cluster(MachineProfile::rhea());
+  JobTemplate tmpl("analyze {file}");
+  std::mutex m;
+  std::vector<std::string> scripts;
+  Listener listener({dir_, ".done", 5ms}, [&](const fs::path& p) {
+    std::lock_guard lock(m);
+    scripts.push_back(tmpl.instantiate({{"file", p.stem().string()}}));
+    cluster.submit("analysis", 4, 60.0, cluster.now());
+  });
+  listener.start();
+  std::ofstream(dir_ / "snap.0.cosmo.done") << "ok";
+  std::ofstream(dir_ / "snap.1.cosmo.done") << "ok";
+  ASSERT_TRUE(listener.wait_for_triggers(2, 2000ms));
+  listener.stop();
+  cluster.run_to_completion();
+  EXPECT_EQ(cluster.job_count(), 2u);
+  EXPECT_EQ(scripts.size(), 2u);
+  for (const auto& s : scripts) EXPECT_EQ(s.find('{'), std::string::npos);
+}
+
+// ------------------------------------------------------------------ staging
+
+TEST(Staging, PutTakeRoundTrip) {
+  StagingArea area(1024);
+  std::vector<std::byte> data(100, std::byte{42});
+  EXPECT_TRUE(area.put("step7", data));
+  EXPECT_EQ(area.used_bytes(), 100u);
+  EXPECT_EQ(area.staged_count(), 1u);
+  auto got = area.take("step7");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+  EXPECT_EQ(area.used_bytes(), 0u);
+  EXPECT_FALSE(area.take("step7").has_value());
+}
+
+TEST(Staging, CapacityIsEnforced) {
+  StagingArea area(150);
+  EXPECT_TRUE(area.put("a", std::vector<std::byte>(100)));
+  EXPECT_FALSE(area.put("b", std::vector<std::byte>(100)));  // would overflow
+  EXPECT_EQ(area.staged_count(), 1u);
+  area.take("a");
+  EXPECT_TRUE(area.put("b", std::vector<std::byte>(100)));
+}
+
+TEST(Staging, DuplicateNameThrows) {
+  StagingArea area(1024);
+  area.put("x", std::vector<std::byte>(8));
+  EXPECT_THROW(area.put("x", std::vector<std::byte>(8)), Error);
+}
+
+TEST(Staging, BlockingTakeWaitsForProducer) {
+  StagingArea area(1 << 20);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(30ms);
+    area.put("late", std::vector<std::byte>(64, std::byte{7}));
+  });
+  auto got = area.take_blocking("late", 2000ms);
+  producer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 64u);
+}
+
+TEST(Staging, BlockingTakeTimesOut) {
+  StagingArea area(1024);
+  const auto got = area.take_blocking("never", 20ms);
+  EXPECT_FALSE(got.has_value());
+}
+
+}  // namespace

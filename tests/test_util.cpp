@@ -1,0 +1,204 @@
+// Unit tests for the util module: RNG, CRC32, histograms, error checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cosmo;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42, 0), b(42, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StreamsDecorrelate) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng r(11);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[r.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 5, draws / 50);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng r(17);
+  for (double mean : {0.5, 5.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 0.05 * mean + 0.05);
+  }
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // Standard zlib test vector: crc32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, std::strlen(s)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const char* s = "the quick brown fox jumps over the lazy dog";
+  const std::size_t n = std::strlen(s);
+  const std::uint32_t whole = crc32(s, n);
+  const std::uint32_t part = crc32(s + 10, n - 10, crc32(s, 10));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<unsigned char> buf(256);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<unsigned char>(i);
+  const auto good = crc32(buf.data(), buf.size());
+  buf[100] ^= 0x04;
+  EXPECT_NE(good, crc32(buf.data(), buf.size()));
+}
+
+TEST(LinearHistogram, BinsAndOverflowReconcile) {
+  LinearHistogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.1 * i);  // 0..9.9 inclusive
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 103u);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.count(9), 10u);
+}
+
+TEST(LinearHistogram, WeightsAccumulate) {
+  LinearHistogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.0);
+  h.add(0.30, 3.0);
+  h.add(0.75, 7.0);
+  EXPECT_DOUBLE_EQ(h.weight(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.weight(1), 7.0);
+}
+
+TEST(LinearHistogram, RejectsEmptyRange) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), Error);
+}
+
+TEST(LogHistogram, LogSpacedEdges) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_lo(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.bin_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_lo(2), 100.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(2), 1000.0, 1e-9);
+}
+
+TEST(LogHistogram, CountsLandInCorrectDecades) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(2.0);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  h.add(0.5);    // underflow
+  h.add(2000.0); // overflow
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(LogHistogram, NonPositiveSamplesGoToUnderflow) {
+  LogHistogram h(1.0, 10.0, 2);
+  h.add(0.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.underflow(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, FormatsAlignedOutput) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5)});
+  t.add_row({"b", TextTable::num(10.25)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("10.25"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    COSMO_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Integration tests: all five workflow variants end to end on a small
+// synthetic universe. The central invariant — the reason the combined
+// workflow is *correct*, not just cheaper — is that every variant produces
+// the same complete halo catalog.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/workflows.h"
+
+namespace {
+
+using namespace cosmo;
+using namespace cosmo::core;
+namespace fs = std::filesystem;
+
+WorkflowProblem small_problem(const std::string& tag) {
+  WorkflowProblem p;
+  p.universe.box = 32.0;
+  p.universe.seed = 4242;
+  p.universe.halo_count = 20;
+  p.universe.min_particles = 60;
+  p.universe.max_particles = 2500;
+  p.universe.background_particles = 600;
+  p.universe.subclump_fraction = 0.0;
+  p.ranks = 4;
+  p.analysis_ranks = 2;
+  p.ranks_per_file = 2;
+  p.linking_length = 0.3;
+  p.min_halo_size = 40;
+  p.overload = 2.5;
+  p.threshold = 150;  // several found (FOF-core) halos exceed this
+  p.compute_so_mass = true;
+  p.compute_subhalos = false;
+  p.workdir = fs::temp_directory_path() /
+              ("wf_" + std::to_string(::getpid()) + "_" + tag);
+  return p;
+}
+
+void expect_same_catalog(const stats::HaloCatalog& a,
+                         const stats::HaloCatalog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].count, b[i].count);
+    EXPECT_FLOAT_EQ(a[i].cx, b[i].cx);
+    EXPECT_FLOAT_EQ(a[i].cy, b[i].cy);
+    EXPECT_FLOAT_EQ(a[i].cz, b[i].cz);
+    EXPECT_FLOAT_EQ(a[i].potential, b[i].potential);
+    EXPECT_FLOAT_EQ(a[i].so_mass, b[i].so_mass);
+  }
+}
+
+class WorkflowEnd2End : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& d : dirs_) {
+      std::error_code ec;
+      fs::remove_all(d, ec);
+    }
+  }
+  WorkflowProblem make(const std::string& tag) {
+    auto p = small_problem(tag + "_" +
+                           ::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name());
+    dirs_.push_back(p.workdir);
+    return p;
+  }
+  std::vector<fs::path> dirs_;
+};
+
+TEST_F(WorkflowEnd2End, InSituProducesCompleteCatalog) {
+  auto p = make("insitu");
+  auto r = run_workflow(WorkflowKind::InSitu, p);
+  EXPECT_GT(r.catalog.size(), 5u);
+  EXPECT_EQ(r.deferred_halos, 0u);
+  EXPECT_EQ(r.level1_bytes, 0u);  // no Level 1 I/O in-situ
+  EXPECT_EQ(r.level2_bytes, 0u);
+  EXPECT_GT(r.level3_bytes, 0u);
+  EXPECT_GT(r.times.sim, 0.0);
+  EXPECT_GT(r.times.analysis, 0.0);
+  EXPECT_EQ(r.times.read, 0.0);
+  EXPECT_EQ(r.times.redistribute, 0.0);
+  // Catalog sorted by id, unique.
+  for (std::size_t i = 1; i < r.catalog.size(); ++i)
+    EXPECT_LT(r.catalog[i - 1].id, r.catalog[i].id);
+  EXPECT_EQ(r.times.find_per_rank.size(), 4u);
+  EXPECT_EQ(r.times.center_per_rank.size(), 4u);
+}
+
+TEST_F(WorkflowEnd2End, OffLineMatchesInSitu) {
+  auto pi = make("ref");
+  auto ri = run_workflow(WorkflowKind::InSitu, pi);
+  auto po = make("offline");
+  auto ro = run_workflow(WorkflowKind::OffLine, po);
+  expect_same_catalog(ri.catalog, ro.catalog);
+  EXPECT_GT(ro.level1_bytes, 0u);  // paid the full Level 1 I/O
+  EXPECT_GT(ro.times.read, 0.0);
+  EXPECT_GT(ro.times.redistribute, 0.0);
+  EXPECT_GT(ro.times.post_analysis, 0.0);
+  EXPECT_EQ(ro.times.analysis, 0.0);  // no in-situ analysis
+}
+
+TEST_F(WorkflowEnd2End, CombinedSimpleMatchesInSitu) {
+  auto pi = make("ref");
+  auto ri = run_workflow(WorkflowKind::InSitu, pi);
+  auto pc = make("combined");
+  auto rc = run_workflow(WorkflowKind::CombinedSimple, pc);
+  expect_same_catalog(ri.catalog, rc.catalog);
+  EXPECT_GT(rc.deferred_halos, 0u) << "test problem must defer some halos";
+  EXPECT_GT(rc.level2_bytes, 0u);
+  EXPECT_EQ(rc.level1_bytes, 0u);  // combined never writes Level 1
+  // Level 2 is a reduction of Level 1.
+  const std::uint64_t level1 =
+      sim::synthetic_total_particles(pc.universe) *
+      sim::ParticleSet::kBytesPerParticle;
+  EXPECT_LT(rc.level2_bytes, level1);
+  EXPECT_GT(rc.times.post_analysis, 0.0);
+}
+
+TEST_F(WorkflowEnd2End, CombinedCoScheduledMatchesAndListens) {
+  auto pi = make("ref");
+  auto ri = run_workflow(WorkflowKind::InSitu, pi);
+  auto pc = make("cosched");
+  auto rc = run_workflow(WorkflowKind::CombinedCoScheduled, pc);
+  expect_same_catalog(ri.catalog, rc.catalog);
+  // The listener saw one trigger per simulation rank's Level 2 file.
+  EXPECT_EQ(rc.listener_triggers, static_cast<std::uint64_t>(pc.ranks));
+  EXPECT_GT(rc.listener_polls, 0u);
+}
+
+TEST_F(WorkflowEnd2End, CombinedInTransitMatchesWithoutLevel2Files) {
+  auto pi = make("ref");
+  auto ri = run_workflow(WorkflowKind::InSitu, pi);
+  auto pc = make("intransit");
+  auto rc = run_workflow(WorkflowKind::CombinedInTransit, pc);
+  expect_same_catalog(ri.catalog, rc.catalog);
+  // No Level 2 files were written (data went through the staging area).
+  bool found_level2_file = false;
+  for (const auto& e : fs::directory_iterator(pc.workdir))
+    if (e.path().string().find("level2") != std::string::npos)
+      found_level2_file = true;
+  EXPECT_FALSE(found_level2_file);
+  EXPECT_GT(rc.level2_bytes, 0u);  // ...but Level 2 data still moved
+}
+
+TEST_F(WorkflowEnd2End, ThresholdControlsDeferredWork) {
+  auto p_low = make("low");
+  p_low.threshold = 100;  // defer almost everything
+  auto r_low = run_workflow(WorkflowKind::CombinedSimple, p_low);
+  auto p_high = make("high");
+  p_high.threshold = 100000;  // defer nothing
+  auto r_high = run_workflow(WorkflowKind::CombinedSimple, p_high);
+  EXPECT_GT(r_low.deferred_halos, r_high.deferred_halos);
+  EXPECT_EQ(r_high.deferred_halos, 0u);
+  expect_same_catalog(r_low.catalog, r_high.catalog);
+}
+
+TEST_F(WorkflowEnd2End, InSituCenterTimeDominatedByBigHalos) {
+  // The load-imbalance story: per-rank center time spread must exceed the
+  // find time spread when a monster halo exists (Table 2's signature).
+  auto p = make("imbalance");
+  p.universe.halo_count = 12;
+  p.universe.max_particles = 4000;
+  p.threshold = 0;
+  auto r = run_workflow(WorkflowKind::InSitu, p);
+  const auto& center = r.times.center_per_rank;
+  ASSERT_EQ(center.size(), 4u);
+  const double cmax = *std::max_element(center.begin(), center.end());
+  const double cmin = *std::min_element(center.begin(), center.end());
+  EXPECT_GT(cmax, cmin) << "center finding should be imbalanced";
+  EXPECT_GT(cmax, 2.0 * (cmin + 1e-4));
+}
+
+TEST_F(WorkflowEnd2End, SubhalosReportedWhenEnabled) {
+  auto p = make("subhalos");
+  p.universe.halo_count = 4;
+  p.universe.min_particles = 5200;
+  p.universe.max_particles = 8000;
+  p.universe.background_particles = 0;
+  p.universe.subclump_fraction = 0.25;
+  p.universe.subclump_min_host = 5000;
+  p.compute_subhalos = true;
+  p.subhalo_min_host = 5000;
+  p.threshold = 0;
+  p.overload = 3.5;
+  auto r = run_workflow(WorkflowKind::InSitu, p);
+  std::uint32_t subs = 0;
+  for (const auto& rec : r.catalog) subs += rec.subhalos;
+  EXPECT_GT(subs, 0u) << "planted substructure not reported in catalog";
+}
+
+}  // namespace
