@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_analysis_cluster.dir/ablation_analysis_cluster.cpp.o"
+  "CMakeFiles/ablation_analysis_cluster.dir/ablation_analysis_cluster.cpp.o.d"
+  "ablation_analysis_cluster"
+  "ablation_analysis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_analysis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

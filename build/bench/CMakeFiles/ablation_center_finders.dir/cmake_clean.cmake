@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_center_finders.dir/ablation_center_finders.cpp.o"
+  "CMakeFiles/ablation_center_finders.dir/ablation_center_finders.cpp.o.d"
+  "ablation_center_finders"
+  "ablation_center_finders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_center_finders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_pileup.dir/campaign_pileup.cpp.o"
+  "CMakeFiles/campaign_pileup.dir/campaign_pileup.cpp.o.d"
+  "campaign_pileup"
+  "campaign_pileup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_pileup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

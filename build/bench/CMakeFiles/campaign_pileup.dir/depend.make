@@ -1,0 +1,2 @@
+# Empty dependencies file for campaign_pileup.
+# This may be replaced when dependencies are built.

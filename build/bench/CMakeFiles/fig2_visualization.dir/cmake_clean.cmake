@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_visualization.dir/fig2_visualization.cpp.o"
+  "CMakeFiles/fig2_visualization.dir/fig2_visualization.cpp.o.d"
+  "fig2_visualization"
+  "fig2_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

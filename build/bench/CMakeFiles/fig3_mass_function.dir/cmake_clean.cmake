@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mass_function.dir/fig3_mass_function.cpp.o"
+  "CMakeFiles/fig3_mass_function.dir/fig3_mass_function.cpp.o.d"
+  "fig3_mass_function"
+  "fig3_mass_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mass_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

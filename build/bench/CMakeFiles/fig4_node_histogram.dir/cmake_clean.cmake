@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_node_histogram.dir/fig4_node_histogram.cpp.o"
+  "CMakeFiles/fig4_node_histogram.dir/fig4_node_histogram.cpp.o.d"
+  "fig4_node_histogram"
+  "fig4_node_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_node_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcontinuum_projection.dir/qcontinuum_projection.cpp.o"
+  "CMakeFiles/qcontinuum_projection.dir/qcontinuum_projection.cpp.o.d"
+  "qcontinuum_projection"
+  "qcontinuum_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcontinuum_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

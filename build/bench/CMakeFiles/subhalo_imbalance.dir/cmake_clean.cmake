@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subhalo_imbalance.dir/subhalo_imbalance.cpp.o"
+  "CMakeFiles/subhalo_imbalance.dir/subhalo_imbalance.cpp.o.d"
+  "subhalo_imbalance"
+  "subhalo_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subhalo_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

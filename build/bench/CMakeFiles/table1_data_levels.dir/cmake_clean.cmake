@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_data_levels.dir/table1_data_levels.cpp.o"
+  "CMakeFiles/table1_data_levels.dir/table1_data_levels.cpp.o.d"
+  "table1_data_levels"
+  "table1_data_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_data_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

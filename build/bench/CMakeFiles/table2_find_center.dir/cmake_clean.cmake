@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_find_center.dir/table2_find_center.cpp.o"
+  "CMakeFiles/table2_find_center.dir/table2_find_center.cpp.o.d"
+  "table2_find_center"
+  "table2_find_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_find_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_find_center.
+# This may be replaced when dependencies are built.

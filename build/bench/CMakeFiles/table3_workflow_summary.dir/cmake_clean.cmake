@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_workflow_summary.dir/table3_workflow_summary.cpp.o"
+  "CMakeFiles/table3_workflow_summary.dir/table3_workflow_summary.cpp.o.d"
+  "table3_workflow_summary"
+  "table3_workflow_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_workflow_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_workflow_detail.dir/table4_workflow_detail.cpp.o"
+  "CMakeFiles/table4_workflow_detail.dir/table4_workflow_detail.cpp.o.d"
+  "table4_workflow_detail"
+  "table4_workflow_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_workflow_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

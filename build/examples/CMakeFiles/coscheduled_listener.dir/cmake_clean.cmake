@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coscheduled_listener.dir/coscheduled_listener.cpp.o"
+  "CMakeFiles/coscheduled_listener.dir/coscheduled_listener.cpp.o.d"
+  "coscheduled_listener"
+  "coscheduled_listener.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coscheduled_listener.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

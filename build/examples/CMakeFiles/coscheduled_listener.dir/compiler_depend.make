@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coscheduled_listener.
+# This may be replaced when dependencies are built.

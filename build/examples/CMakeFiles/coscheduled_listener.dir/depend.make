@@ -1,0 +1,2 @@
+# Empty dependencies file for coscheduled_listener.
+# This may be replaced when dependencies are built.

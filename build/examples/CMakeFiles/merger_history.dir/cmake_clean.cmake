@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merger_history.dir/merger_history.cpp.o"
+  "CMakeFiles/merger_history.dir/merger_history.cpp.o.d"
+  "merger_history"
+  "merger_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merger_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_compare.dir/workflow_compare.cpp.o"
+  "CMakeFiles/workflow_compare.dir/workflow_compare.cpp.o.d"
+  "workflow_compare"
+  "workflow_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

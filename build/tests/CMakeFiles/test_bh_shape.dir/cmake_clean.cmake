@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bh_shape.dir/test_bh_shape.cpp.o"
+  "CMakeFiles/test_bh_shape.dir/test_bh_shape.cpp.o.d"
+  "test_bh_shape"
+  "test_bh_shape.pdb"
+  "test_bh_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bh_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

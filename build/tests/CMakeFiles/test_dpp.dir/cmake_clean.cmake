@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpp.dir/test_dpp.cpp.o"
+  "CMakeFiles/test_dpp.dir/test_dpp.cpp.o.d"
+  "test_dpp"
+  "test_dpp.pdb"
+  "test_dpp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo.dir/test_halo.cpp.o"
+  "CMakeFiles/test_halo.dir/test_halo.cpp.o.d"
+  "test_halo"
+  "test_halo.pdb"
+  "test_halo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflows.dir/test_workflows.cpp.o"
+  "CMakeFiles/test_workflows.dir/test_workflows.cpp.o.d"
+  "test_workflows"
+  "test_workflows.pdb"
+  "test_workflows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
