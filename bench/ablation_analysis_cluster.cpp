@@ -16,7 +16,8 @@
 using namespace cosmo;
 using core::WorkflowKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Ablation — analysis-cluster hardware for the off-line job",
       "§3.2/§4.2 (Rhea CPU-only vs GPU cluster)");

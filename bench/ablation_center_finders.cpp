@@ -38,7 +38,8 @@ sim::ParticleSet concentrated_halo(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Ablation — MBP center finder implementations vs halo size",
       "§3.3.2 (A* ≈ 8x serial; PISTON/GPU ≈ 50x serial)");

@@ -37,7 +37,8 @@ class TinyAlgorithm : public core::InSituAlgorithm {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Ablation — virtual vs CRTP dispatch for the in-situ framework",
       "§3.1 (virtual-call overhead / CRTP footnote)");

@@ -13,11 +13,53 @@
 #include <string>
 
 #include "core/workflows.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 using cosmo::TextTable;
 
 namespace bench_common {
+
+/// Observability flags shared by every bench binary:
+///   --trace-out=<file>   export the run's spans as Chrome trace-event JSON
+///                        (open in chrome://tracing or ui.perfetto.dev)
+///   --metrics            print the span summary + metrics registry on exit
+/// Construct one at the top of main(); export happens on destruction so the
+/// whole run is covered.
+struct ObsSession {
+  std::filesystem::path trace_out;
+  bool print_metrics = false;
+
+  ObsSession(int argc, char** argv) {
+    const std::string trace_flag = "--trace-out=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind(trace_flag, 0) == 0)
+        trace_out = a.substr(trace_flag.size());
+      else if (a == "--metrics")
+        print_metrics = true;
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (print_metrics) {
+      std::cout << "\nspan summary:\n";
+      cosmo::obs::Tracer::instance().print_summary(std::cout);
+      std::cout << "\nmetrics:\n";
+      cosmo::obs::MetricsRegistry::instance().print(std::cout);
+    }
+    if (!trace_out.empty()) {
+      if (cosmo::obs::Tracer::instance().export_chrome_trace_file(trace_out))
+        std::cout << "\ntrace written to " << trace_out.string() << "\n";
+      else
+        std::cerr << "\nfailed to write trace to " << trace_out.string()
+                  << "\n";
+    }
+  }
+};
 
 /// The downscaled analysis problem used by the Table 3/4 benches: a stand-in
 /// for the paper's 1024³/32-node test run. One rare, large halo dominates

@@ -17,7 +17,8 @@
 
 using namespace cosmo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Campaign — co-scheduled analysis of a snapshot sequence",
       "Table 4 caption / §3.2 (per-timestep jobs, pile-up)");

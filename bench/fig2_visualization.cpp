@@ -16,7 +16,8 @@
 
 using namespace cosmo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Figure 2 — particle distribution of one node's sub-region", "Figure 2");
 

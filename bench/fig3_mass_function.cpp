@@ -17,7 +17,8 @@
 
 using namespace cosmo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header("Figure 3 — split halo mass function at z=0",
                              "Figure 3");
 

@@ -23,7 +23,8 @@
 
 using namespace cosmo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Figure 4 — per-node projected center-finding time histogram",
       "Figure 4");

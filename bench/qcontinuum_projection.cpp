@@ -18,7 +18,8 @@
 
 using namespace cosmo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header("§4.1 — Q Continuum analysis cost accounting",
                              "Section 4.1 narrative numbers");
 

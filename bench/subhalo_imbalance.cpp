@@ -13,7 +13,8 @@
 
 using namespace cosmo;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header("§4.2 — subhalo finding per-node imbalance",
                              "Section 4.2, subhalo paragraph");
 

@@ -38,7 +38,8 @@ void model_row(TextTable& t, const char* name, double np_per_dim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header("Table 1 — Level 1/2/3 data product sizes",
                              "Table 1");
 

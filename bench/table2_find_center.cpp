@@ -26,7 +26,8 @@ struct Stage {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header(
       "Table 2 — Find/Center extremes across cosmic evolution", "Table 2");
 

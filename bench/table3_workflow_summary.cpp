@@ -16,7 +16,8 @@
 using namespace cosmo;
 using core::WorkflowKind;
 
-int main() {
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
   bench_common::print_header("Table 3 — analysis workflow comparison",
                              "Table 3");
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+# Always build before ctest — running ctest against a stale or empty build
+# tree registers "<suite>_NOT_BUILT" placeholder tests instead of real ones.
+# This script (and the `check` target it drives) makes that ordering
+# impossible to get wrong.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+jobs="${JOBS:-$(nproc)}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"

@@ -28,7 +28,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace cosmo::comm {
 
@@ -136,6 +138,7 @@ class Comm {
   // ---- collectives (must be called in matching order on every rank) ------
 
   void barrier() {
+    COSMO_COUNT("comm.barrier", 1);
     // Linear fan-in to rank 0, then fan-out. O(P) messages, trivially correct.
     std::uint8_t token = 1;
     if (rank_ == 0) {
@@ -151,6 +154,7 @@ class Comm {
   /// Broadcasts root's buffer to all ranks (buffer is resized on receivers).
   template <typename T>
   void bcast(std::vector<T>& data, int root = 0) {
+    COSMO_COUNT("comm.bcast", 1);
     if (rank_ == root) {
       for (int r = 0; r < size(); ++r)
         if (r != root) send_raw(r, kTagBcast, std::span<const T>(data));
@@ -162,6 +166,7 @@ class Comm {
   /// Element-wise reduction of equal-length vectors onto root.
   template <typename T>
   std::vector<T> reduce(std::span<const T> local, ReduceOp op, int root = 0) {
+    COSMO_COUNT("comm.reduce", 1);
     if (rank_ != root) {
       send_raw(root, kTagReduce, local);
       return {};
@@ -196,6 +201,7 @@ class Comm {
   template <typename T>
   std::vector<T> gatherv(std::span<const T> local, int root = 0,
                          std::vector<std::size_t>* counts = nullptr) {
+    COSMO_COUNT("comm.gatherv", 1);
     if (rank_ != root) {
       send_raw(root, kTagGather, local);
       return {};
@@ -244,6 +250,7 @@ class Comm {
       const std::vector<std::vector<T>>& send) {
     COSMO_REQUIRE(static_cast<int>(send.size()) == size(),
                   "alltoallv needs one buffer per destination rank");
+    COSMO_COUNT("comm.alltoallv", 1);
     // Stagger destinations so mailboxes fill roughly evenly.
     for (int step = 0; step < size(); ++step) {
       const int dest = (rank_ + step) % size();
@@ -264,6 +271,7 @@ class Comm {
   /// Inclusive scan of a scalar across ranks (rank r gets op over ranks 0..r).
   template <typename T>
   T scan_value(T value, ReduceOp op) {
+    COSMO_COUNT("comm.scan", 1);
     // Linear chain: receive prefix from rank-1, combine, forward.
     T acc = value;
     if (rank_ > 0) {
@@ -301,6 +309,8 @@ class Comm {
   void send_raw(int dest, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     COSMO_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+    COSMO_COUNT("comm.msgs_sent", 1);
+    COSMO_COUNT("comm.bytes_sent", data.size_bytes());
     detail::Message msg;
     msg.source = rank_;
     msg.tag = tag;
@@ -314,7 +324,16 @@ class Comm {
   std::vector<T> recv_raw(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     COSMO_REQUIRE(source >= 0 && source < size(), "source rank out of range");
+#ifndef COSMO_OBS_DISABLED
+    WallTimer wait_timer;
+#endif
     detail::Message msg = world_->box(rank_).take(source, tag);
+#ifndef COSMO_OBS_DISABLED
+    COSMO_COUNT("comm.recv_wait_us",
+                static_cast<std::uint64_t>(wait_timer.seconds() * 1e6));
+    COSMO_COUNT("comm.msgs_recv", 1);
+    COSMO_COUNT("comm.bytes_recv", msg.payload.size());
+#endif
     COSMO_REQUIRE(msg.payload.size() % sizeof(T) == 0,
                   "message size not a multiple of element size");
     std::vector<T> out(msg.payload.size() / sizeof(T));
@@ -336,8 +355,12 @@ inline void run_spmd(int nranks, const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&world, &body, &errors, r] {
+      // Bind this thread's rank for the observability layer: spans and
+      // metric shards recorded anywhere below carry the right rank.
+      obs::RankScope rank_scope(r);
       try {
         Comm comm(world, r);
+        COSMO_TRACE_SPAN("spmd.rank");
         body(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();

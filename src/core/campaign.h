@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/workflows.h"
+#include "obs/obs.h"
 #include "sched/listener.h"
 #include "util/timer.h"
 
@@ -89,7 +90,7 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
   std::mutex jobs_mutex;
   std::atomic<int> running_analysis{0};
   std::atomic<std::size_t> peak_running{0};
-  WallTimer campaign_timer;
+  obs::TimedSpan campaign_timer("campaign.wall_clock", "campaign");
 
   auto analysis_job = [&](std::size_t step) {
     const int now_running = ++running_analysis;
@@ -98,7 +99,8 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
            !peak_running.compare_exchange_weak(
                expected, static_cast<std::size_t>(now_running))) {
     }
-    WallTimer turnaround;
+    obs::TimedSpan turnaround("campaign.analysis_job", "campaign");
+    COSMO_COUNT("campaign.analysis_jobs", 1);
     const auto problem = [&] {
       WorkflowProblem p = cfg.base;
       p.universe = universes[step];
@@ -128,11 +130,11 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
         for (auto& h : detail::unpack_halos(seg)) all.push_back(std::move(h));
         off += len;
       }
-      WallTimer t;
+      obs::TimedSpan t("campaign.offline_analysis", "campaign");
       auto part = detail::analyze_level2(
           c, problem, all, sim::synthetic_total_particles(problem.universe),
           nullptr);
-      const double mine = t.seconds();
+      const double mine = t.finish();
       const double worst = c.allreduce_value(mine, comm::ReduceOp::Max);
       if (c.rank() == 0) {
         offline = std::move(part);
@@ -143,7 +145,7 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
       std::lock_guard lock(result_mutex);
       auto& out = result.steps[step];
       out.offline_analysis_s = offline_s;
-      out.trigger_to_done_s = turnaround.seconds();
+      out.trigger_to_done_s = turnaround.finish();
       out.catalog = stats::reconcile_catalogs(out.catalog, offline);
     }
     --running_analysis;
@@ -164,17 +166,17 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
   listener.start();
 
   // The simulation job: all timesteps in one SPMD run.
-  WallTimer sim_timer;
+  obs::TimedSpan sim_timer("campaign.sim_job", "campaign");
   comm::run_spmd(cfg.base.ranks, [&](comm::Comm& c) {
     for (std::size_t s = 0; s < cfg.timesteps; ++s) {
       WorkflowProblem p = cfg.base;
       p.universe = universes[s];
       sim::Cosmology cosmo;
       auto u = sim::generate_synthetic(c, cosmo, p.universe);
-      WallTimer t_analysis;
+      obs::TimedSpan t_analysis("campaign.insitu_analysis", "campaign");
       auto out = detail::run_insitu_pipeline(c, p, p.threshold, u.local,
                                              u.total_particles);
-      const double analysis_s = t_analysis.seconds();
+      const double analysis_s = t_analysis.finish();
 
       // Emit the step's Level 2 (one file per rank, one block per halo).
       const auto base = p.workdir / ("level2.step" + std::to_string(s));
@@ -205,7 +207,7 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
       c.barrier();
     }
   });
-  result.sim_job_s = sim_timer.seconds();
+  result.sim_job_s = sim_timer.finish();
 
   // Drain: final listener sweep + join every analysis job.
   listener.wait_for_triggers(cfg.timesteps, std::chrono::milliseconds(10000));
@@ -218,7 +220,7 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
     lock.unlock();
     t.join();
   }
-  result.wall_clock_s = campaign_timer.seconds();
+  result.wall_clock_s = campaign_timer.finish();
   result.listener_triggers = listener.stats().triggers;
   result.listener_polls = listener.stats().polls;
   result.max_concurrent_analysis = peak_running.load();

@@ -42,6 +42,7 @@
 #include "core/split_tuner.h"
 #include "io/aggregated.h"
 #include "io/cosmo_io.h"
+#include "obs/obs.h"
 #include "sched/listener.h"
 #include "sched/staging.h"
 #include "sim/synthetic.h"
@@ -349,34 +350,34 @@ void simulation_job(const WorkflowProblem& p, WorkflowKind kind,
                     std::uint64_t threshold, Shared& shared,
                     EmitLevel2&& emit_level2) {
   comm::run_spmd(p.ranks, [&](comm::Comm& c) {
-    WallTimer t_sim;
+    obs::TimedSpan t_sim("phase.sim", to_string(kind));
     sim::Cosmology cosmo;
     auto universe = sim::generate_synthetic(c, cosmo, p.universe);
-    const double sim_s = t_sim.seconds();
+    const double sim_s = t_sim.finish();
 
     double analysis_s = 0.0, write_s = 0.0;
     SimJobOutput out;
     std::uint64_t level2_local = 0;
 
     if (kind == WorkflowKind::OffLine) {
-      WallTimer t_write;
+      obs::TimedSpan t_write("phase.write", to_string(kind));
       auto wr = io::write_aggregated(
           c, p.workdir / "level1", universe.local,
           {p.universe.box, 1.0, universe.total_particles, 0},
           p.ranks_per_file);
-      write_s = t_write.seconds();
+      write_s = t_write.finish();
       std::lock_guard lock(shared.mutex);
       shared.result.level1_bytes += wr.bytes_written;
     } else {
-      WallTimer t_analysis;
+      obs::TimedSpan t_analysis("phase.analysis", to_string(kind));
       out = run_insitu_pipeline(c, p, threshold, universe.local,
                                 universe.total_particles);
-      analysis_s = t_analysis.seconds();
-      WallTimer t_write;
+      analysis_s = t_analysis.finish();
+      obs::TimedSpan t_write("phase.write", to_string(kind));
       for (const auto& h : out.deferred)
         level2_local += h.bytes();
       emit_level2(c, out);
-      write_s = t_write.seconds();
+      write_s = t_write.finish();
     }
 
     // Gather the in-situ catalog part and per-rank timings.
@@ -478,7 +479,7 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
     comm::run_spmd(problem.ranks, [&](comm::Comm& c) {
       sim::SlabDecomposition decomp(c.size(), problem.universe.box);
       // Read this rank's share of blocks.
-      WallTimer t_read;
+      obs::TimedSpan t_read("phase.read", to_string(kind));
       std::vector<fs::path> files;
       const int groups =
           (problem.ranks + problem.ranks_per_file - 1) / problem.ranks_per_file;
@@ -498,15 +499,15 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
           mine.append(reader.read_block(b));
         }
       }
-      const double read_s = t_read.seconds();
-      WallTimer t_redist;
+      const double read_s = t_read.finish();
+      obs::TimedSpan t_redist("phase.redistribute", to_string(kind));
       sim::ParticleSet owned = decomp.redistribute(c, std::move(mine));
-      const double redist_s = t_redist.seconds();
+      const double redist_s = t_redist.finish();
 
-      WallTimer t_analysis;
+      obs::TimedSpan t_analysis("phase.post_analysis", to_string(kind));
       auto out = detail::run_insitu_pipeline(c, problem, 0, owned,
                                              total_particles);
-      const double analysis_s = t_analysis.seconds();
+      const double analysis_s = t_analysis.finish();
       auto catalog = detail::gather_catalog(c, out.catalog_part);
       auto center_all = c.allgather_value(out.center_s);
 
@@ -514,7 +515,7 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
       const double redist_max = detail::phase_max(c, redist_s);
       const double analysis_max = detail::phase_max(c, analysis_s);
       if (c.rank() == 0) {
-        WallTimer t_write;
+        obs::TimedSpan t_write("phase.post_write", to_string(kind));
         std::uint64_t l3 = 0;
         stats::sort_catalog(catalog);
         detail::write_level3(problem.workdir / "level3.catalog", catalog, &l3);
@@ -523,7 +524,7 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
         r.times.read = read_max;
         r.times.redistribute = redist_max;
         r.times.post_analysis = analysis_max;
-        r.times.post_write = t_write.seconds();
+        r.times.post_write = t_write.finish();
         r.times.post_center_per_rank = center_all;
         r.catalog = std::move(catalog);
         r.level3_bytes = l3;
@@ -532,7 +533,7 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
   } else if (kind != WorkflowKind::InSitu) {
     // Combined variants: small analysis job over Level 2.
     comm::run_spmd(problem.analysis_ranks, [&](comm::Comm& c) {
-      WallTimer t_read;
+      obs::TimedSpan t_read("phase.read", to_string(kind));
       std::vector<sim::ParticleSet> halos;
       if (kind == WorkflowKind::CombinedInTransit) {
         // Take every producer rank's staged buffer (blocking handoff),
@@ -555,12 +556,12 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
             halos.push_back(reader.read_block(b));
         }
       }
-      const double read_s = t_read.seconds();
+      const double read_s = t_read.finish();
 
       // "Redistribute": collect all halos onto every rank (they are then
       // LPT-assigned inside analyze_level2). Halo particle sets are shipped
       // whole — Level 2 communication.
-      WallTimer t_redist;
+      obs::TimedSpan t_redist("phase.redistribute", to_string(kind));
       std::vector<sim::ParticleSet> all_halos;
       {
         const auto buf = detail::pack_halos(halos);
@@ -575,14 +576,14 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
           offset += len;
         }
       }
-      const double redist_s = t_redist.seconds();
+      const double redist_s = t_redist.finish();
 
-      WallTimer t_analysis;
+      obs::TimedSpan t_analysis("phase.post_analysis", to_string(kind));
       std::vector<double> center_per_rank;
       auto offline_catalog = detail::analyze_level2(
           c, problem, all_halos,
           sim::synthetic_total_particles(problem.universe), &center_per_rank);
-      const double analysis_s = t_analysis.seconds();
+      const double analysis_s = t_analysis.finish();
 
       const double read_max = detail::phase_max(c, read_s);
       const double redist_max = detail::phase_max(c, redist_s);
@@ -590,7 +591,7 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
       if (c.rank() == 0) {
         std::lock_guard lock(shared.mutex);
         auto& r = shared.result;
-        WallTimer t_write;
+        obs::TimedSpan t_write("phase.post_write", to_string(kind));
         r.catalog = stats::reconcile_catalogs(r.catalog, offline_catalog);
         std::uint64_t l3 = 0;
         detail::write_level3(problem.workdir / "level3.catalog", r.catalog,
@@ -598,19 +599,19 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
         r.times.read = read_max;
         r.times.redistribute = redist_max;
         r.times.post_analysis = analysis_max;
-        r.times.post_write = t_write.seconds();
+        r.times.post_write = t_write.finish();
         r.times.post_center_per_rank = center_per_rank;
         r.level3_bytes = l3;
       }
     });
   } else {
     // Pure in-situ: rank 0 writes the Level 3 catalog (timed as write).
-    WallTimer t_write;
+    obs::TimedSpan t_write("phase.write", to_string(kind));
     stats::sort_catalog(shared.result.catalog);
     std::uint64_t l3 = 0;
     detail::write_level3(problem.workdir / "level3.catalog",
                          shared.result.catalog, &l3);
-    shared.result.times.write += t_write.seconds();
+    shared.result.times.write += t_write.finish();
     shared.result.level3_bytes = l3;
   }
 

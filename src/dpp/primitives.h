@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "dpp/thread_pool.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace cosmo::dpp {
@@ -34,10 +36,17 @@ inline const char* to_string(Backend b) {
 namespace detail {
 template <typename Fn>
 void for_each_range(Backend b, std::size_t n, Fn&& fn) {
+  COSMO_COUNT("dpp.primitive_calls", 1);
+  COSMO_COUNT("dpp.primitive_items", n);
   if (b == Backend::Serial || n == 0) {
-    if (n != 0) fn(std::size_t{0}, n);
+    if (n != 0) {
+      COSMO_COUNT("dpp.serial_runs", 1);
+      fn(std::size_t{0}, n);
+    }
     return;
   }
+  COSMO_HISTOGRAM("dpp.chunk_items_log10", 0.0, 9.0, 36,
+                  n ? std::log10(static_cast<double>(n)) : 0.0);
   ThreadPool::instance().parallel_for(n, fn);
 }
 }  // namespace detail

@@ -5,6 +5,13 @@
 // data-parallel primitives dispatch index ranges onto it. A pool (rather
 // than thread-per-call) keeps per-primitive overhead low enough that the
 // fine-grained primitives in the center finder stay profitable.
+//
+// Known pitfall, now measured: dispatches SERIALIZE on a single dispatch
+// mutex, so concurrent parallel_for calls (e.g. several SPMD ranks running
+// the center finder at once) queue up rather than share the pool. The
+// "dpp.dispatch_wait_us" counter and "dpp.dispatch_wait_ms" histogram
+// record that contention per rank; see ROADMAP "Open items" for the
+// concurrent-dispatch redesign this data motivates.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +21,9 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/obs.h"
+#include "util/timer.h"
 
 namespace cosmo::dpp {
 
@@ -41,6 +51,7 @@ class ThreadPool {
     threads_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
       threads_.emplace_back([this, w] { worker_loop(w); });
+    COSMO_GAUGE_SET("dpp.pool_workers", workers);
   }
 
   ThreadPool(const ThreadPool&) = delete;
@@ -65,10 +76,24 @@ class ThreadPool {
     if (n == 0) return;
     const std::size_t nw = workers();
     if (n < 2 * nw) {  // too small to amortize dispatch; run inline
+      COSMO_COUNT("dpp.inline_runs", 1);
       fn(0, n);
       return;
     }
+#ifndef COSMO_OBS_DISABLED
+    WallTimer wait_timer;
+#endif
     std::lock_guard dispatch_lock(dispatch_mutex_);
+#ifndef COSMO_OBS_DISABLED
+    {
+      const double waited_s = wait_timer.seconds();
+      COSMO_COUNT("dpp.dispatch_wait_us",
+                  static_cast<std::uint64_t>(waited_s * 1e6));
+      COSMO_HISTOGRAM("dpp.dispatch_wait_ms", 0.0, 50.0, 50, waited_s * 1e3);
+      COSMO_COUNT("dpp.dispatches", 1);
+      COSMO_COUNT("dpp.dispatch_items", n);
+    }
+#endif
     {
       std::lock_guard lock(mutex_);
       job_fn_ = &fn;

@@ -15,6 +15,7 @@
 
 #include "comm/comm.h"
 #include "io/cosmo_io.h"
+#include "obs/obs.h"
 #include "sim/decomposition.h"
 #include "sim/particles.h"
 #include "util/error.h"
@@ -44,6 +45,7 @@ inline AggregatedWriteResult write_aggregated(comm::Comm& comm,
                                               const CosmoIoInfo& info,
                                               int ranks_per_file) {
   COSMO_REQUIRE(ranks_per_file >= 1, "need at least one rank per file");
+  COSMO_TRACE_SPAN_CAT("io.write_aggregated", "io");
   const int rank = comm.rank();
   const int group = rank / ranks_per_file;
   const int writer = group * ranks_per_file;
@@ -55,6 +57,7 @@ inline AggregatedWriteResult write_aggregated(comm::Comm& comm,
     std::vector<sim::PackedParticle> packed(local.size());
     for (std::size_t i = 0; i < local.size(); ++i)
       packed[i] = sim::pack_particle(local, i);
+    COSMO_COUNT("io.aggregation_sends", 1);
     comm.send<sim::PackedParticle>(writer, kTag, packed);
     return result;
   }
@@ -63,6 +66,7 @@ inline AggregatedWriteResult write_aggregated(comm::Comm& comm,
   out.write_block(local, static_cast<std::uint32_t>(rank));
   for (int r = writer + 1; r < group_end; ++r) {
     auto packed = comm.recv<sim::PackedParticle>(r, kTag);
+    COSMO_COUNT("io.aggregation_fanin", 1);
     sim::ParticleSet p;
     p.reserve(packed.size());
     for (const auto& w : packed) sim::unpack_particle(w, p);
@@ -84,6 +88,7 @@ inline AggregatedWriteResult write_aggregated(comm::Comm& comm,
 inline sim::ParticleSet read_aggregated(comm::Comm& comm,
                                         const std::vector<std::filesystem::path>& files,
                                         const sim::SlabDecomposition& decomp) {
+  COSMO_TRACE_SPAN_CAT("io.read_aggregated", "io");
   sim::ParticleSet mine;
   std::size_t block_counter = 0;
   for (const auto& f : files) {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/particles.h"
 #include "util/crc32.h"
 #include "util/error.h"
@@ -87,6 +88,7 @@ class CosmoIoWriter {
     e.offset = static_cast<std::uint64_t>(out_.tellp());
     e.particles = p.size();
     e.writer_rank = writer_rank;
+    COSMO_COUNT("io.blocks_written", 1);
     const std::uint64_t n = p.size();
     write_raw(&n, sizeof(n));
     write_array(p.x);
@@ -124,6 +126,7 @@ class CosmoIoWriter {
 
  private:
   void write_raw(const void* data, std::size_t len) {
+    COSMO_COUNT("io.bytes_written", len);
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(len));
     COSMO_REQUIRE(out_.good(), "write failure on " + path_.string());
@@ -131,6 +134,7 @@ class CosmoIoWriter {
 
   template <typename T>
   void write_array(const std::vector<T>& v) {
+    COSMO_COUNT("io.crc_computed", 1);
     const std::uint32_t crc = crc32(v.data(), v.size() * sizeof(T));
     write_raw(&crc, sizeof(crc));
     if (!v.empty()) write_raw(v.data(), v.size() * sizeof(T));
@@ -179,6 +183,7 @@ class CosmoIoReader {
   /// Reads one block, validating every variable's CRC.
   sim::ParticleSet read_block(std::uint32_t b) {
     COSMO_REQUIRE(b < table_.size(), "block index out of range");
+    COSMO_COUNT("io.blocks_read", 1);
     in_.seekg(static_cast<std::streamoff>(table_[b].offset));
     std::uint64_t n = 0;
     read_raw(&n, sizeof(n));
@@ -206,6 +211,7 @@ class CosmoIoReader {
 
  private:
   void read_raw(void* data, std::size_t len) {
+    COSMO_COUNT("io.bytes_read", len);
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
     COSMO_REQUIRE(in_.good(), "read failure on " + path_.string());
   }
@@ -216,6 +222,8 @@ class CosmoIoReader {
     read_raw(&stored_crc, sizeof(stored_crc));
     if (!v.empty()) read_raw(v.data(), v.size() * sizeof(T));
     const std::uint32_t actual = crc32(v.data(), v.size() * sizeof(T));
+    COSMO_COUNT("io.crc_validations", 1);
+    if (actual != stored_crc) COSMO_COUNT("io.crc_failures", 1);
     COSMO_REQUIRE(actual == stored_crc,
                   "CRC mismatch — corrupt block in " + path_.string());
   }

@@ -1,0 +1,252 @@
+// Metrics registry — named counters, gauges, and histograms.
+//
+// Counters shard by SPMD rank (obs/context.h): each rank-thread accumulates
+// into its own atomic slot, so both the process total and any single rank's
+// contribution are recoverable. That mirrors MPI reality — every rank owns
+// its local count and cross-rank views are built with communicator
+// reductions (obs/aggregate.h) — while staying contention-free in this
+// repo's ranks-as-threads runtime. Histograms reuse util/histogram.h's
+// LinearHistogram, per rank shard, so bin counts aggregate across ranks by
+// element-wise sum.
+//
+// Lookup is by name under a mutex; hot paths cache the returned reference
+// in a function-local static (see COSMO_COUNT in obs/obs.h), so the steady
+// state is one relaxed atomic add per event.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/context.h"
+#include "util/error.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace cosmo::obs {
+
+namespace detail {
+/// Counter slots: slot 0 for rank-less threads, slots 1..64 for ranks
+/// (ranks beyond 63 wrap — totals stay exact, per-rank views merge).
+inline constexpr std::size_t kRankSlots = 65;
+
+inline std::size_t slot_for_rank(int rank) {
+  return rank < 0 ? 0 : 1 + static_cast<std::size_t>(rank) % (kRankSlots - 1);
+}
+
+inline std::size_t current_slot() { return slot_for_rank(current_rank()); }
+}  // namespace detail
+
+/// Monotonic counter, sharded by rank.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    slots_[detail::current_slot()].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Process-wide total across every rank (and rank-less threads).
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& s : slots_) t += s.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  /// One rank's contribution (rank -1: all rank-less threads).
+  std::uint64_t local(int rank) const {
+    return slots_[detail::slot_for_rank(rank)].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, detail::kRankSlots> slots_{};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t encode(double v) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double decode(std::uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-binning histogram metric, one LinearHistogram shard per rank.
+/// Binning is set by the first registration of the name (first-wins).
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins) {
+    COSMO_REQUIRE(hi > lo && bins > 0, "bad histogram metric binning");
+  }
+
+  void observe(double x) {
+    std::lock_guard lock(mutex_);
+    shard(detail::current_slot()).add(x);
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return bins_; }
+
+  /// Merged view over every rank.
+  LinearHistogram merged() const {
+    std::lock_guard lock(mutex_);
+    LinearHistogram out(lo_, hi_, bins_);
+    for (const auto& [_, h] : shards_) merge_into(out, h);
+    return out;
+  }
+
+  /// One rank's bin counts, laid out [bin 0 .. bin N-1, underflow,
+  /// overflow] — the aggregation payload (element-wise summable).
+  std::vector<std::uint64_t> local_counts(int rank) const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::uint64_t> out(bins_ + 2, 0);
+    const auto it = shards_.find(detail::slot_for_rank(rank));
+    if (it == shards_.end()) return out;
+    for (std::size_t b = 0; b < bins_; ++b) out[b] = it->second.count(b);
+    out[bins_] = it->second.underflow();
+    out[bins_ + 1] = it->second.overflow();
+    return out;
+  }
+
+  std::uint64_t total() const { return merged().total(); }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    shards_.clear();
+  }
+
+ private:
+  LinearHistogram& shard(std::size_t slot) {
+    auto it = shards_.find(slot);
+    if (it == shards_.end())
+      it = shards_.emplace(slot, LinearHistogram(lo_, hi_, bins_)).first;
+    return it->second;
+  }
+
+  static void merge_into(LinearHistogram& acc, const LinearHistogram& h) {
+    // Replays bin contents by center; under/overflow transfer via sentinels.
+    for (std::size_t b = 0; b < h.bins(); ++b)
+      for (std::uint64_t c = 0; c < h.count(b); ++c) acc.add(h.bin_center(b));
+    for (std::uint64_t c = 0; c < h.underflow(); ++c) acc.add(acc.bin_lo(0) - 1.0);
+    for (std::uint64_t c = 0; c < h.overflow(); ++c)
+      acc.add(acc.bin_lo(0) + (acc.width() * static_cast<double>(acc.bins())) + 1.0);
+  }
+
+  double lo_, hi_;
+  std::size_t bins_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, LinearHistogram> shards_;
+};
+
+/// Process-wide registry of named metrics. References returned are stable
+/// for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+
+  Counter& counter(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+  }
+
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+  }
+
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins) {
+    std::lock_guard lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+    return *slot;
+  }
+
+  bool has_counter(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    return counters_.count(name) != 0;
+  }
+  bool has_histogram(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    return histograms_.count(name) != 0;
+  }
+
+  std::vector<std::string> counter_names() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, _] : counters_) out.push_back(name);
+    return out;  // std::map iteration: already sorted
+  }
+
+  std::vector<std::string> histogram_names() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, _] : histograms_) out.push_back(name);
+    return out;
+  }
+
+  /// Zeroes every metric (names and binnings survive). For tests/benches.
+  void reset() {
+    std::lock_guard lock(mutex_);
+    for (auto& [_, c] : counters_) c->reset();
+    for (auto& [_, g] : gauges_) g->reset();
+    for (auto& [_, h] : histograms_) h->reset();
+  }
+
+  /// Plaintext dump of every counter/gauge and histogram totals.
+  void print(std::ostream& os) const {
+    TextTable t({"metric", "kind", "value"});
+    {
+      std::lock_guard lock(mutex_);
+      for (const auto& [name, c] : counters_)
+        t.add_row({name, "counter", std::to_string(c->total())});
+      for (const auto& [name, g] : gauges_)
+        t.add_row({name, "gauge", TextTable::num(g->value(), 4)});
+      for (const auto& [name, h] : histograms_)
+        t.add_row({name, "histogram", std::to_string(h->total()) + " samples"});
+    }
+    t.print(os);
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace cosmo::obs

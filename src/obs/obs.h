@@ -1,0 +1,85 @@
+// cosmo::obs — the observability layer: span tracing + metrics.
+//
+// Include this one header to instrument code. Two surfaces:
+//   * RAII spans (trace.h): COSMO_TRACE_SPAN("io.read") scopes a timed,
+//     rank-tagged span; exportable as Chrome trace JSON + summary table.
+//   * Metrics (metrics.h): COSMO_COUNT("comm.bytes_sent", n) and friends
+//     update named counters/gauges/histograms, sharded per rank and
+//     aggregatable across ranks with communicator reductions
+//     (obs/aggregate.h — include separately, it depends on comm).
+//
+// Compile-out: defining COSMO_OBS_DISABLED (per target, e.g.
+// `target_compile_definitions(tgt PRIVATE COSMO_OBS_DISABLED)`) turns every
+// macro below into a no-op and strips TimedSpan down to its wall timer, so
+// instrumented hot paths carry zero observability cost. The flag is a
+// whole-binary switch: mixing enabled and disabled translation units in one
+// binary is not supported (it would violate the one-definition rule for
+// TimedSpan).
+#pragma once
+
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#define COSMO_OBS_CONCAT_IMPL(a, b) a##b
+#define COSMO_OBS_CONCAT(a, b) COSMO_OBS_CONCAT_IMPL(a, b)
+
+#ifndef COSMO_OBS_DISABLED
+
+/// Scoped span for the rest of the enclosing block.
+#define COSMO_TRACE_SPAN(name)                                        \
+  ::cosmo::obs::ScopedSpan COSMO_OBS_CONCAT(cosmo_obs_span_,          \
+                                            __COUNTER__) { (name) }
+
+/// Scoped span with an explicit category (shown as `cat` in Chrome traces).
+#define COSMO_TRACE_SPAN_CAT(name, cat)                               \
+  ::cosmo::obs::ScopedSpan COSMO_OBS_CONCAT(cosmo_obs_span_,          \
+                                            __COUNTER__) { (name), (cat) }
+
+/// Adds `n` to the named counter. `name` must be a stable string literal:
+/// the registry lookup happens once (function-local static), the steady
+/// state is one relaxed atomic add.
+#define COSMO_COUNT(name, n)                                          \
+  do {                                                                \
+    static ::cosmo::obs::Counter& cosmo_obs_counter_ =                \
+        ::cosmo::obs::MetricsRegistry::instance().counter(name);      \
+    cosmo_obs_counter_.add(static_cast<std::uint64_t>(n));            \
+  } while (0)
+
+/// Sets the named gauge to `v`.
+#define COSMO_GAUGE_SET(name, v)                                      \
+  do {                                                                \
+    static ::cosmo::obs::Gauge& cosmo_obs_gauge_ =                    \
+        ::cosmo::obs::MetricsRegistry::instance().gauge(name);        \
+    cosmo_obs_gauge_.set(static_cast<double>(v));                     \
+  } while (0)
+
+/// Records `x` into the named histogram ([lo, hi) with `bins` bins; the
+/// binning is fixed by the first registration of the name).
+#define COSMO_HISTOGRAM(name, lo, hi, bins, x)                        \
+  do {                                                                \
+    static ::cosmo::obs::HistogramMetric& cosmo_obs_hist_ =           \
+        ::cosmo::obs::MetricsRegistry::instance().histogram(          \
+            name, lo, hi, bins);                                      \
+    cosmo_obs_hist_.observe(static_cast<double>(x));                  \
+  } while (0)
+
+#else  // COSMO_OBS_DISABLED: everything compiles to nothing.
+
+#define COSMO_TRACE_SPAN(name) \
+  do {                         \
+  } while (0)
+#define COSMO_TRACE_SPAN_CAT(name, cat) \
+  do {                                  \
+  } while (0)
+#define COSMO_COUNT(name, n) \
+  do {                       \
+  } while (0)
+#define COSMO_GAUGE_SET(name, v) \
+  do {                           \
+  } while (0)
+#define COSMO_HISTOGRAM(name, lo, hi, bins, x) \
+  do {                                         \
+  } while (0)
+
+#endif  // COSMO_OBS_DISABLED

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace cosmo::sched {
@@ -43,7 +44,12 @@ class StagingArea {
   bool put(const std::string& name, std::vector<std::byte> data) {
     std::unique_lock lock(mutex_);
     COSMO_REQUIRE(!store_.count(name), "staging name already in use: " + name);
-    if (used_ + data.size() > capacity_) return false;
+    if (used_ + data.size() > capacity_) {
+      COSMO_COUNT("sched.staging_rejects", 1);
+      return false;
+    }
+    COSMO_COUNT("sched.staging_puts", 1);
+    COSMO_COUNT("sched.staging_bytes", data.size());
     used_ += data.size();
     store_.emplace(name, std::move(data));
     lock.unlock();
@@ -59,6 +65,7 @@ class StagingArea {
     std::vector<std::byte> out = std::move(it->second);
     used_ -= out.size();
     store_.erase(it);
+    COSMO_COUNT("sched.staging_takes", 1);
     return out;
   }
 
@@ -74,6 +81,7 @@ class StagingArea {
     std::vector<std::byte> out = std::move(it->second);
     used_ -= out.size();
     store_.erase(it);
+    COSMO_COUNT("sched.staging_takes", 1);
     return out;
   }
 

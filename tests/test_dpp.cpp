@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
+#include "comm/comm.h"
 #include "dpp/primitives.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace {
@@ -195,6 +198,57 @@ TEST(DppPool, ArgminEmptyThrows) {
   EXPECT_THROW(
       dpp::argmin(Backend::Serial, 0, [](std::size_t) { return 0.0; }),
       Error);
+}
+
+// The documented pitfall (thread_pool.h): parallel_for dispatches serialize
+// on one mutex, so concurrent calls from several SPMD ranks queue. The pool
+// must stay CORRECT under that contention — every dispatch runs to
+// completion with exclusive pool ownership (chunks never interleave across
+// concurrent callers) — and the contention itself must now be measurable
+// via the dpp.dispatch_wait metrics.
+TEST(DppPool, ConcurrentDispatchFromRanksIsSerializedButCorrect) {
+  constexpr int kRanks = 4;
+  constexpr int kIters = 8;
+  constexpr std::size_t kN = 100000;
+#ifndef COSMO_OBS_DISABLED
+  const std::uint64_t dispatches_before =
+      obs::MetricsRegistry::instance().counter("dpp.dispatches").total();
+#endif
+  comm::run_spmd(kRanks, [&](comm::Comm& c) {
+    for (int iter = 0; iter < kIters; ++iter) {
+      // Each rank marks its own array; exactly-once per index proves the
+      // dispatch it observed was wholly its own.
+      std::vector<std::atomic<std::uint32_t>> marks(kN);
+      std::atomic<std::size_t> active_chunks{0};
+      std::atomic<bool> interleaved{false};
+      dpp::ThreadPool::instance().parallel_for(
+          kN, [&](std::size_t lo, std::size_t hi) {
+            active_chunks.fetch_add(1);
+            for (std::size_t i = lo; i < hi; ++i)
+              marks[i].fetch_add(1, std::memory_order_relaxed);
+            // Concurrent chunks must all belong to THIS dispatch: never
+            // more in flight than the pool has workers.
+            if (active_chunks.load() >
+                dpp::ThreadPool::instance().workers())
+              interleaved.store(true);
+            active_chunks.fetch_sub(1);
+          });
+      EXPECT_FALSE(interleaved.load());
+      for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(marks[i].load(), 1u) << "index " << i << " on rank "
+                                       << c.rank() << " iter " << iter;
+    }
+    c.barrier();
+  });
+#ifndef COSMO_OBS_DISABLED
+  const std::uint64_t dispatches_after =
+      obs::MetricsRegistry::instance().counter("dpp.dispatches").total();
+  EXPECT_GE(dispatches_after - dispatches_before,
+            static_cast<std::uint64_t>(kRanks * kIters));
+  // The wait-time distribution was recorded.
+  EXPECT_TRUE(obs::MetricsRegistry::instance().has_histogram(
+      "dpp.dispatch_wait_ms"));
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+// COSMO_OBS_DISABLED build: the macros must compile to nothing and the
+// runtime must still work. This binary is compiled with the flag set
+// (tests/CMakeLists.txt); everything here asserts the *absence* of
+// observability side effects.
+#include <gtest/gtest.h>
+
+#ifndef COSMO_OBS_DISABLED
+#error "test_obs_disabled must be compiled with COSMO_OBS_DISABLED"
+#endif
+
+#include <chrono>
+#include <thread>
+
+#include "comm/comm.h"
+#include "obs/obs.h"
+
+using namespace cosmo;
+
+namespace {
+
+TEST(ObsDisabled, CompileTimeFlagIsVisible) {
+  EXPECT_FALSE(obs::kObsEnabled);
+}
+
+TEST(ObsDisabled, MacrosAreNoOps) {
+  obs::Tracer::instance().clear();
+  { COSMO_TRACE_SPAN("disabled.span"); }
+  { COSMO_TRACE_SPAN_CAT("disabled.span_cat", "cat"); }
+  COSMO_COUNT("disabled.counter", 5);
+  COSMO_GAUGE_SET("disabled.gauge", 1.0);
+  COSMO_HISTOGRAM("disabled.hist", 0.0, 1.0, 4, 0.5);
+
+  EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_FALSE(reg.has_counter("disabled.counter"));
+  EXPECT_FALSE(reg.has_histogram("disabled.hist"));
+}
+
+TEST(ObsDisabled, TimedSpanStillMeasures) {
+  obs::TimedSpan t("disabled.timed", "cat");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(t.seconds(), 0.0);
+  const double d = t.finish();
+  EXPECT_GE(d, 0.004);
+  // ...without recording anything.
+  EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+}
+
+TEST(ObsDisabled, SpmdRuntimeRecordsNothing) {
+  obs::Tracer::instance().clear();
+  comm::run_spmd(4, [&](comm::Comm& c) {
+    c.barrier();
+    const int total = c.allreduce_value(1, comm::ReduceOp::Sum);
+    EXPECT_EQ(total, 4);
+  });
+  EXPECT_TRUE(obs::Tracer::instance().snapshot().empty());
+  EXPECT_FALSE(
+      obs::MetricsRegistry::instance().has_counter("comm.barrier"));
+  // Rank context still works (it is not part of the compile-out).
+  EXPECT_EQ(obs::current_rank(), -1);
+}
+
+}  // namespace

@@ -4,9 +4,11 @@
 // the same complete halo catalog.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/workflows.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -171,6 +173,77 @@ TEST_F(WorkflowEnd2End, InSituCenterTimeDominatedByBigHalos) {
   const double cmin = *std::min_element(center.begin(), center.end());
   EXPECT_GT(cmax, cmin) << "center finding should be imbalanced";
   EXPECT_GT(cmax, 2.0 * (cmin + 1e-4));
+}
+
+TEST_F(WorkflowEnd2End, LedgerConsistentWithTracerForAllVariants) {
+  // The reported PhaseTimes and the tracer's phase spans are the same
+  // measurement (TimedSpan::finish feeds both), so the ledger must be
+  // reconstructible from the trace: per-rank phases reduce by max (the
+  // paper's node maxima), rank-less phases (the in-situ Level 3 write on
+  // the driver thread) add on top.
+  const WorkflowKind kinds[] = {
+      WorkflowKind::InSitu, WorkflowKind::OffLine, WorkflowKind::CombinedSimple,
+      WorkflowKind::CombinedCoScheduled, WorkflowKind::CombinedInTransit};
+  for (const auto kind : kinds) {
+    SCOPED_TRACE(to_string(kind));
+    auto p = make(std::string("ledger_") +
+                  std::to_string(static_cast<int>(kind)));
+#ifndef COSMO_OBS_DISABLED
+    obs::Tracer::instance().set_enabled(true);
+    obs::Tracer::instance().clear();
+#endif
+    auto r = run_workflow(kind, p);
+    EXPECT_GT(r.times.sim, 0.0);
+    EXPECT_GT(r.catalog.size(), 0u);
+#ifndef COSMO_OBS_DISABLED
+    const auto spans = obs::Tracer::instance().snapshot();
+    const std::string cat = to_string(kind);
+    // max over rank spans + sum of rank-less spans for one phase name.
+    auto from_trace = [&](const std::string& phase) {
+      double rank_max = 0.0, rankless_sum = 0.0;
+      std::size_t n = 0;
+      for (const auto& s : spans) {
+        if (s.cat != cat || s.name != phase) continue;
+        ++n;
+        if (s.rank >= 0)
+          rank_max = std::max(rank_max, s.seconds());
+        else
+          rankless_sum += s.seconds();
+      }
+      return std::pair<double, std::size_t>(rank_max + rankless_sum, n);
+    };
+    constexpr double kTol = 1e-4;  // finish() sub-µs clock-tick fallback
+    const struct {
+      const char* phase;
+      double ledger;
+    } rows[] = {
+        {"phase.sim", r.times.sim},
+        {"phase.analysis", r.times.analysis},
+        {"phase.write", r.times.write},
+        {"phase.read", r.times.read},
+        {"phase.redistribute", r.times.redistribute},
+        {"phase.post_analysis", r.times.post_analysis},
+        {"phase.post_write", r.times.post_write},
+    };
+    double trace_total = 0.0, ledger_total = 0.0;
+    for (const auto& row : rows) {
+      const auto [derived, count] = from_trace(row.phase);
+      SCOPED_TRACE(row.phase);
+      if (row.ledger > 0.0)
+        EXPECT_GT(count, 0u) << "ledger has time but trace has no span";
+      EXPECT_NEAR(derived, row.ledger, kTol);
+      trace_total += derived;
+      ledger_total += row.ledger;
+    }
+    // The grand totals agree too (the Table 4 row sums).
+    EXPECT_NEAR(trace_total, ledger_total, 7 * kTol);
+    EXPECT_NEAR(ledger_total, r.times.sim_total() + r.times.post_total(),
+                1e-9);
+    // Every rank of the simulation job produced a phase.sim span.
+    const auto [_, sim_spans] = from_trace("phase.sim");
+    EXPECT_EQ(sim_spans, static_cast<std::size_t>(p.ranks));
+#endif
+  }
 }
 
 TEST_F(WorkflowEnd2End, SubhalosReportedWhenEnabled) {
