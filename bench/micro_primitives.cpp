@@ -4,9 +4,11 @@
 // workflow-level number in Tables 2–4.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "dpp/primitives.h"
+#include "dpp/thread_pool.h"
 #include "fft/fft.h"
 #include "halo/center_finder.h"
 #include "halo/fof.h"
@@ -139,6 +141,88 @@ void BM_CenterBrute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CenterBrute)->Args({0, 3000})->Args({1, 3000});
+
+// --- Scheduler microbenchmarks (work-stealing dispatch path) ------------
+//
+// A few sqrt's per item: heavy enough that the dispatch isn't pure
+// overhead, light enough that chunk-claim cost shows up if the grain is
+// mis-set.
+double item_work(std::size_t i) {
+  double acc = static_cast<double>(i & 0xff) * 1e-3;
+  for (int r = 0; r < 8; ++r) acc = std::sqrt(acc + 1.0 + static_cast<double>(r));
+  return acc;
+}
+
+/// Grain sweep on a fixed dispatch: range(0) = grain (0 = auto). Shows the
+/// tradeoff between chunk-claim overhead (tiny grain) and lost balancing
+/// slack (huge grain).
+void BM_DispatchGrain(benchmark::State& state) {
+  constexpr std::size_t kN = 1 << 16;
+  std::vector<double> out(kN);
+  const auto grain = static_cast<std::size_t>(state.range(0));
+  auto& pool = dpp::ThreadPool::instance();
+  for (auto _ : state) {
+    pool.parallel_for(
+        kN,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) out[i] = item_work(i);
+        },
+        grain);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kN));
+}
+BENCHMARK(BM_DispatchGrain)
+    ->Arg(0)  // auto (~4 chunks per worker)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(1 << 16);  // single chunk == inline run
+
+/// Concurrent dispatch: each benchmark thread issues its own parallel_for
+/// against the shared pool, the co-scheduling pattern of SPMD analysis
+/// ranks. Under the old single-job scheduler these serialized on the
+/// dispatch lock; under work stealing they share the workers chunk-wise.
+void BM_ConcurrentDispatch(benchmark::State& state) {
+  constexpr std::size_t kN = 1 << 14;
+  std::vector<double> out(kN);
+  auto& pool = dpp::ThreadPool::instance();
+  for (auto _ : state) {
+    pool.parallel_for(kN, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = item_work(i);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(kN));
+}
+BENCHMARK(BM_ConcurrentDispatch)->Threads(1)->Threads(2)->Threads(4);
+
+/// Nested dispatch: an outer grain-1 parallel_for whose items each issue an
+/// inner parallel_for (deadlock under the old scheduler; help-execution
+/// makes it safe and cheap now).
+void BM_NestedDispatch(benchmark::State& state) {
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 1 << 12;
+  std::vector<double> out(kOuter * kInner);
+  auto& pool = dpp::ThreadPool::instance();
+  for (auto _ : state) {
+    pool.parallel_for(
+        kOuter,
+        [&](std::size_t olo, std::size_t ohi) {
+          for (std::size_t o = olo; o < ohi; ++o) {
+            pool.parallel_for(kInner, [&, o](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i)
+                out[o * kInner + i] = item_work(i);
+            });
+          }
+        },
+        /*grain=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(kOuter * kInner));
+}
+BENCHMARK(BM_NestedDispatch);
 
 void BM_KNearest(benchmark::State& state) {
   auto p = clustered(20000, 7);

@@ -5,12 +5,32 @@
 # tree registers "<suite>_NOT_BUILT" placeholder tests instead of real ones.
 # This script (and the `check` target it drives) makes that ordering
 # impossible to get wrong.
+#
+# Modes:
+#   scripts/verify.sh          full tier-1: configure + build + ctest
+#   scripts/verify.sh --tsan   ThreadSanitizer pass over the concurrency
+#                              layer: builds test_dpp (scheduler + the
+#                              concurrent-dispatch/nesting/stealing stress
+#                              tests) with -DCOSMO_TSAN=ON in build-tsan/
+#                              and fails on any reported race.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${BUILD_DIR:-$repo_root/build}"
 jobs="${JOBS:-$(nproc)}"
 
+if [[ "${1:-}" == "--tsan" ]]; then
+  build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
+  cmake -B "$build_dir" -S "$repo_root" -DCOSMO_TSAN=ON
+  cmake --build "$build_dir" --target test_dpp -j "$jobs"
+  # TSAN_OPTIONS: any race is fatal (non-zero exit), second_deadlock_stack
+  # makes lock-order reports actionable.
+  TSAN_OPTIONS="halt_on_error=0 exitcode=66 second_deadlock_stack=1" \
+    "$build_dir/tests/test_dpp"
+  echo "TSan pass clean."
+  exit 0
+fi
+
+build_dir="${BUILD_DIR:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"

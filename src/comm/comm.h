@@ -268,6 +268,61 @@ class Comm {
     return recv_bufs;
   }
 
+  /// Personalized all-to-all over ONE contiguous buffer with precomputed
+  /// counts and displacements — the batched redistribution path (distributed
+  /// FFT transposes). `send` is laid out destination-major: rank d's block
+  /// starts at sum(send_counts[0..d)). `recv_counts[s]` must equal the
+  /// element count rank s sends to this rank (callers with a regular
+  /// decomposition know it by symmetry). Returns the received elements
+  /// source-major in one contiguous buffer. Compared to alltoallv, this
+  /// skips the per-destination vector allocations and the per-source
+  /// payload-to-vector copy, and the self block never touches the mailbox.
+  template <typename T>
+  std::vector<T> alltoallv_flat(std::span<const T> send,
+                                std::span<const std::size_t> send_counts,
+                                std::span<const std::size_t> recv_counts) {
+    const int P = size();
+    COSMO_REQUIRE(static_cast<int>(send_counts.size()) == P &&
+                      static_cast<int>(recv_counts.size()) == P,
+                  "alltoallv_flat needs one count per rank");
+    std::vector<std::size_t> sdisp(static_cast<std::size_t>(P) + 1, 0);
+    std::vector<std::size_t> rdisp(static_cast<std::size_t>(P) + 1, 0);
+    for (int r = 0; r < P; ++r) {
+      sdisp[static_cast<std::size_t>(r) + 1] =
+          sdisp[static_cast<std::size_t>(r)] +
+          send_counts[static_cast<std::size_t>(r)];
+      rdisp[static_cast<std::size_t>(r) + 1] =
+          rdisp[static_cast<std::size_t>(r)] +
+          recv_counts[static_cast<std::size_t>(r)];
+    }
+    COSMO_REQUIRE(sdisp[static_cast<std::size_t>(P)] == send.size(),
+                  "alltoallv_flat send buffer size does not match counts");
+    COSMO_COUNT("comm.alltoallv", 1);
+    COSMO_COUNT("comm.alltoallv_flat", 1);
+    // Stagger destinations so mailboxes fill roughly evenly.
+    for (int step = 1; step < P; ++step) {
+      const int dest = (rank_ + step) % P;
+      send_raw(dest, kTagAllToAll,
+               std::span<const T>(
+                   send.data() + sdisp[static_cast<std::size_t>(dest)],
+                   send_counts[static_cast<std::size_t>(dest)]));
+    }
+    std::vector<T> recv(rdisp[static_cast<std::size_t>(P)]);
+    COSMO_REQUIRE(send_counts[static_cast<std::size_t>(rank_)] ==
+                      recv_counts[static_cast<std::size_t>(rank_)],
+                  "alltoallv_flat self-block count mismatch");
+    std::copy_n(send.data() + sdisp[static_cast<std::size_t>(rank_)],
+                send_counts[static_cast<std::size_t>(rank_)],
+                recv.data() + rdisp[static_cast<std::size_t>(rank_)]);
+    for (int src = 0; src < P; ++src) {
+      if (src == rank_) continue;
+      recv_raw_into(src, kTagAllToAll,
+                    recv.data() + rdisp[static_cast<std::size_t>(src)],
+                    recv_counts[static_cast<std::size_t>(src)]);
+    }
+    return recv;
+  }
+
   /// Inclusive scan of a scalar across ranks (rank r gets op over ranks 0..r).
   template <typename T>
   T scan_value(T value, ReduceOp op) {
@@ -318,6 +373,27 @@ class Comm {
     if (!data.empty())
       std::memcpy(msg.payload.data(), data.data(), data.size_bytes());
     world_->box(dest).put(std::move(msg));
+  }
+
+  /// recv_raw variant writing straight into caller storage (no intermediate
+  /// vector): the received payload must be exactly `count` elements.
+  template <typename T>
+  void recv_raw_into(int source, int tag, T* dst, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    COSMO_REQUIRE(source >= 0 && source < size(), "source rank out of range");
+#ifndef COSMO_OBS_DISABLED
+    WallTimer wait_timer;
+#endif
+    detail::Message msg = world_->box(rank_).take(source, tag);
+#ifndef COSMO_OBS_DISABLED
+    COSMO_COUNT("comm.recv_wait_us",
+                static_cast<std::uint64_t>(wait_timer.seconds() * 1e6));
+    COSMO_COUNT("comm.msgs_recv", 1);
+    COSMO_COUNT("comm.bytes_recv", msg.payload.size());
+#endif
+    COSMO_REQUIRE(msg.payload.size() == count * sizeof(T),
+                  "message size does not match expected element count");
+    if (count != 0) std::memcpy(dst, msg.payload.data(), msg.payload.size());
   }
 
   template <typename T>

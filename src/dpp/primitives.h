@@ -5,6 +5,15 @@
 // primitives and executed on either backend. The Backend value plays the
 // role of Thrust's execution policy; Serial is the reference implementation
 // and ThreadPool is the "accelerator".
+//
+// Grain hints: every primitive takes an optional `grain` (items per
+// scheduler chunk, 0 = auto). The work-stealing pool claims chunks
+// dynamically, so a small grain lets load-imbalanced kernels (heavy
+// per-item cost that varies, e.g. O(n) potential sums) balance across
+// workers; the auto grain targets a few chunks per worker, right for cheap
+// uniform loops. Results are backend- and grain-independent for every
+// deterministic primitive: the block decompositions below combine partial
+// results in fixed block order, never in thread arrival order.
 #pragma once
 
 #include <algorithm>
@@ -34,8 +43,9 @@ inline const char* to_string(Backend b) {
 }
 
 namespace detail {
+
 template <typename Fn>
-void for_each_range(Backend b, std::size_t n, Fn&& fn) {
+void for_each_range(Backend b, std::size_t n, Fn&& fn, std::size_t grain = 0) {
   COSMO_COUNT("dpp.primitive_calls", 1);
   COSMO_COUNT("dpp.primitive_items", n);
   if (b == Backend::Serial || n == 0) {
@@ -47,45 +57,86 @@ void for_each_range(Backend b, std::size_t n, Fn&& fn) {
   }
   COSMO_HISTOGRAM("dpp.chunk_items_log10", 0.0, 9.0, 36,
                   n ? std::log10(static_cast<double>(n)) : 0.0);
-  ThreadPool::instance().parallel_for(n, fn);
+  ThreadPool::instance().parallel_for(n, fn, grain);
 }
+
+/// Fixed block decomposition for partial-result algorithms (reduce, scan,
+/// bucket_count): block boundaries depend only on (n, grain, workers), so
+/// per-block partials can be combined in deterministic block order no
+/// matter which thread ran which block. Blocks are dispatched as one
+/// scheduler item each (grain 1 over the block index space), so stealing
+/// balances blocks of uneven cost.
+struct BlockDecomposition {
+  std::size_t block_size = 0;
+  std::size_t num_blocks = 0;
+
+  BlockDecomposition(std::size_t n, std::size_t grain,
+                     std::size_t min_block = 1) {
+    const std::size_t nw = ThreadPool::instance().workers();
+    std::size_t bs = grain;
+    if (bs == 0) bs = (n + 4 * nw - 1) / (4 * nw);
+    if (bs < min_block) bs = min_block;
+    if (bs == 0) bs = 1;
+    block_size = bs;
+    num_blocks = n == 0 ? 0 : (n + bs - 1) / bs;
+  }
+
+  std::size_t lo(std::size_t block) const { return block * block_size; }
+  std::size_t hi(std::size_t block, std::size_t n) const {
+    const std::size_t h = lo(block) + block_size;
+    return h < n ? h : n;
+  }
+};
+
 }  // namespace detail
 
 /// out[i] = fn(i) for i in [0, n). The index-based form subsumes
 /// transform/zip/counting-iterator compositions without iterator machinery.
 template <typename T, typename Fn>
-void tabulate(Backend b, std::span<T> out, Fn fn) {
-  detail::for_each_range(b, out.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i);
-  });
+void tabulate(Backend b, std::span<T> out, Fn fn, std::size_t grain = 0) {
+  detail::for_each_range(
+      b, out.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i);
+      },
+      grain);
 }
 
 /// Calls fn(i) for each i in [0, n); fn must be data-race free across i.
 template <typename Fn>
-void for_each_index(Backend b, std::size_t n, Fn fn) {
-  detail::for_each_range(b, n, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) fn(i);
-  });
+void for_each_index(Backend b, std::size_t n, Fn fn, std::size_t grain = 0) {
+  detail::for_each_range(
+      b, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
 }
 
-/// Reduction of fn(i) over [0, n) with a commutative+associative op.
+/// Reduction of fn(i) over [0, n) with an associative op. Partial results
+/// are combined in block order, so the parallel result is deterministic
+/// (and equals Serial whenever op is exactly associative).
 template <typename T, typename Fn, typename Op>
-T transform_reduce(Backend b, std::size_t n, T init, Op op, Fn fn) {
+T transform_reduce(Backend b, std::size_t n, T init, Op op, Fn fn,
+                   std::size_t grain = 0) {
   if (b == Backend::Serial || n == 0) {
     T acc = init;
     for (std::size_t i = 0; i < n; ++i) acc = op(acc, fn(i));
     return acc;
   }
-  auto& pool = ThreadPool::instance();
-  std::vector<T> partial(pool.workers() + 1, init);
-  std::atomic<std::size_t> next_slot{0};
-  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
-    T acc = init;
-    for (std::size_t i = lo; i < hi; ++i) acc = op(acc, fn(i));
-    partial[next_slot.fetch_add(1)] = acc;
-  });
+  const detail::BlockDecomposition blocks(n, grain);
+  std::vector<T> partial(blocks.num_blocks, init);
+  for_each_index(
+      b, blocks.num_blocks,
+      [&](std::size_t blk) {
+        T acc = init;
+        const std::size_t hi = blocks.hi(blk, n);
+        for (std::size_t i = blocks.lo(blk); i < hi; ++i) acc = op(acc, fn(i));
+        partial[blk] = acc;
+      },
+      /*grain=*/1);
   T acc = init;
-  for (std::size_t s = 0; s < next_slot.load(); ++s) acc = op(acc, partial[s]);
+  for (const auto& p : partial) acc = op(acc, p);
   return acc;
 }
 
@@ -99,9 +150,10 @@ T reduce(Backend b, std::span<const T> in, T init = T{}) {
 
 /// Index of the minimum of fn(i) over [0, n); ties break to the lowest
 /// index so results are backend-independent. This is the key primitive for
-/// the MBP center finder (argmin of potential).
+/// the MBP center finder (argmin of potential). `grain` follows the cost of
+/// fn: pass a small grain when single evaluations are expensive.
 template <typename Fn>
-std::size_t argmin(Backend b, std::size_t n, Fn fn) {
+std::size_t argmin(Backend b, std::size_t n, Fn fn, std::size_t grain = 0) {
   COSMO_REQUIRE(n > 0, "argmin of empty range");
   using V = decltype(fn(std::size_t{0}));
   struct Best {
@@ -115,14 +167,18 @@ std::size_t argmin(Backend b, std::size_t n, Fn fn) {
   };
   Best init{std::numeric_limits<V>::max(), std::numeric_limits<std::size_t>::max()};
   Best r = transform_reduce(
-      b, n, init, better, [&](std::size_t i) { return Best{fn(i), i}; });
+      b, n, init, better, [&](std::size_t i) { return Best{fn(i), i}; },
+      grain);
   return r.index;
 }
 
 /// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the total.
-/// Two-pass block scan on the pool backend (scan-then-propagate).
+/// Two-pass block scan (scan-then-propagate) on the pool backend; += only
+/// needs to be associative, not commutative — block offsets are combined
+/// strictly left to right.
 template <typename T>
-T exclusive_scan(Backend b, std::span<const T> in, std::span<T> out) {
+T exclusive_scan(Backend b, std::span<const T> in, std::span<T> out,
+                 std::size_t grain = 0) {
   COSMO_REQUIRE(in.size() == out.size(), "scan size mismatch");
   const std::size_t n = in.size();
   if (n == 0) return T{};
@@ -135,29 +191,35 @@ T exclusive_scan(Backend b, std::span<const T> in, std::span<T> out) {
     }
     return acc;
   }
-  auto& pool = ThreadPool::instance();
-  const std::size_t nw = pool.workers();
-  const std::size_t chunk = (n + nw - 1) / nw;
-  std::vector<T> block_sum(nw + 1, T{});
-  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
-    T acc{};
-    for (std::size_t i = lo; i < hi; ++i) acc += in[i];
-    block_sum[lo / chunk] = acc;
-  });
+  const detail::BlockDecomposition blocks(n, grain);
+  std::vector<T> block_sum(blocks.num_blocks, T{});
+  for_each_index(
+      b, blocks.num_blocks,
+      [&](std::size_t blk) {
+        T acc{};
+        const std::size_t hi = blocks.hi(blk, n);
+        for (std::size_t i = blocks.lo(blk); i < hi; ++i) acc += in[i];
+        block_sum[blk] = acc;
+      },
+      /*grain=*/1);
   T total{};
-  std::vector<T> block_off(nw + 1, T{});
-  for (std::size_t w = 0; w < nw; ++w) {
-    block_off[w] = total;
-    total += block_sum[w];
+  std::vector<T> block_off(blocks.num_blocks, T{});
+  for (std::size_t blk = 0; blk < blocks.num_blocks; ++blk) {
+    block_off[blk] = total;
+    total += block_sum[blk];
   }
-  pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
-    T acc = block_off[lo / chunk];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const T v = in[i];
-      out[i] = acc;
-      acc += v;
-    }
-  });
+  for_each_index(
+      b, blocks.num_blocks,
+      [&](std::size_t blk) {
+        T acc = block_off[blk];
+        const std::size_t hi = blocks.hi(blk, n);
+        for (std::size_t i = blocks.lo(blk); i < hi; ++i) {
+          const T v = in[i];
+          out[i] = acc;
+          acc += v;
+        }
+      },
+      /*grain=*/1);
   return total;
 }
 
@@ -192,7 +254,8 @@ void scatter(Backend b, std::span<const T> in, std::span<const I> map,
 
 /// Stable sort of `index` (a permutation of [0,n)) by keys[index[i]].
 /// Parallel backend: per-chunk sorts followed by log2 rounds of pairwise
-/// inplace_merge.
+/// inplace_merge; each run/merge is one scheduler item (grain 1) so the
+/// pool steals whole runs.
 template <typename K>
 void sort_indices_by_key(Backend b, std::span<const K> keys,
                          std::vector<std::uint32_t>& index) {
@@ -211,11 +274,14 @@ void sort_indices_by_key(Backend b, std::span<const K> keys,
   std::vector<std::pair<std::size_t, std::size_t>> runs;
   for (std::size_t lo = 0; lo < n; lo += chunk)
     runs.emplace_back(lo, std::min(lo + chunk, n));
-  for_each_index(b, runs.size(), [&](std::size_t r) {
-    std::stable_sort(index.begin() + static_cast<std::ptrdiff_t>(runs[r].first),
-                     index.begin() + static_cast<std::ptrdiff_t>(runs[r].second),
-                     cmp);
-  });
+  for_each_index(
+      b, runs.size(),
+      [&](std::size_t r) {
+        std::stable_sort(index.begin() + static_cast<std::ptrdiff_t>(runs[r].first),
+                         index.begin() + static_cast<std::ptrdiff_t>(runs[r].second),
+                         cmp);
+      },
+      /*grain=*/1);
   // Phase 2: pairwise merges until one run remains.
   while (runs.size() > 1) {
     std::vector<std::pair<std::size_t, std::size_t>> merged;
@@ -224,19 +290,23 @@ void sort_indices_by_key(Backend b, std::span<const K> keys,
     for (std::size_t p = 0; p < pairs; ++p)
       merged.emplace_back(runs[2 * p].first, runs[2 * p + 1].second);
     if (runs.size() % 2) merged.push_back(runs.back());
-    for_each_index(b, pairs, [&](std::size_t p) {
-      auto first = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p].first);
-      auto mid = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p].second);
-      auto last = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p + 1].second);
-      std::inplace_merge(first, mid, last, cmp);
-    });
+    for_each_index(
+        b, pairs,
+        [&](std::size_t p) {
+          auto first = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p].first);
+          auto mid = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p].second);
+          auto last = index.begin() + static_cast<std::ptrdiff_t>(runs[2 * p + 1].second);
+          std::inplace_merge(first, mid, last, cmp);
+        },
+        /*grain=*/1);
     runs = std::move(merged);
   }
 }
 
 /// Counts of key occurrences for keys in [0, num_buckets); the building
 /// block for CIC binning and halo-id segmentation. Parallel backend uses
-/// per-worker count arrays merged at the end.
+/// per-block count arrays merged in block order (blocks are kept coarse —
+/// each one carries a num_buckets-sized scratch array).
 template <typename I>
 std::vector<std::uint64_t> bucket_count(Backend b, std::span<const I> keys,
                                         std::size_t num_buckets) {
@@ -249,18 +319,22 @@ std::vector<std::uint64_t> bucket_count(Backend b, std::span<const I> keys,
     }
     return counts;
   }
-  auto& pool = ThreadPool::instance();
+  const std::size_t n = keys.size();
+  const detail::BlockDecomposition blocks(n, /*grain=*/0, /*min_block=*/4096);
   std::vector<std::vector<std::uint64_t>> partial(
-      pool.workers(), std::vector<std::uint64_t>(num_buckets, 0));
-  std::atomic<std::size_t> slot{0};
-  pool.parallel_for(keys.size(), [&](std::size_t lo, std::size_t hi) {
-    auto& mine = partial[slot.fetch_add(1)];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto kk = static_cast<std::size_t>(keys[i]);
-      COSMO_REQUIRE(kk < num_buckets, "bucket key out of range");
-      ++mine[kk];
-    }
-  });
+      blocks.num_blocks, std::vector<std::uint64_t>(num_buckets, 0));
+  for_each_index(
+      b, blocks.num_blocks,
+      [&](std::size_t blk) {
+        auto& mine = partial[blk];
+        const std::size_t hi = blocks.hi(blk, n);
+        for (std::size_t i = blocks.lo(blk); i < hi; ++i) {
+          const auto kk = static_cast<std::size_t>(keys[i]);
+          COSMO_REQUIRE(kk < num_buckets, "bucket key out of range");
+          ++mine[kk];
+        }
+      },
+      /*grain=*/1);
   for (const auto& p : partial)
     for (std::size_t k = 0; k < num_buckets; ++k) counts[k] += p[k];
   return counts;

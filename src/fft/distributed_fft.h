@@ -83,14 +83,28 @@ class DistributedFft {
     COSMO_REQUIRE(slab.size() == local_size(), "slab buffer has wrong size");
   }
 
+  /// Elements each rank exchanges with each peer: every peer owns an equal
+  /// slab, so all counts equal nslab²·n. One flat count vector serves as
+  /// both send and recv counts for the batched alltoallv_flat.
+  std::vector<std::size_t> uniform_counts() const {
+    return std::vector<std::size_t>(static_cast<std::size_t>(comm_->size()),
+                                    nslab_ * n_ * nslab_);
+  }
+
   // Redistribute from z-slabs (x fastest) to ky-slabs (kz fastest).
   // Element (z, y, x) moves to rank owning y, landing at (y_local, x, z).
+  //
+  // Batched exchange: all P pencil blocks are packed into ONE contiguous
+  // destination-major buffer (displacement of rank d = d·nslab²·n,
+  // precomputed inside alltoallv_flat from the uniform counts) and shipped
+  // in a single flat all-to-all — no per-destination vector allocations and
+  // no per-source payload-to-vector copy on receive.
   void transpose_z_to_y(std::vector<Complex>& slab) {
     const int P = comm_->size();
-    std::vector<std::vector<Complex>> send(static_cast<std::size_t>(P));
+    const std::size_t block = nslab_ * n_ * nslab_;
+    std::vector<Complex> packed(local_size());
     for (int d = 0; d < P; ++d) {
-      auto& buf = send[static_cast<std::size_t>(d)];
-      buf.resize(nslab_ * n_ * nslab_);
+      Complex* buf = packed.data() + static_cast<std::size_t>(d) * block;
       const std::size_t y0 = static_cast<std::size_t>(d) * nslab_;
       // Sender writes in (y_local, x, z_local) order, z_local fastest, so
       // the receiver can block-copy runs of z.
@@ -100,9 +114,10 @@ class DistributedFft {
           for (std::size_t zl = 0; zl < nslab_; ++zl)
             buf[idx++] = slab[(zl * n_ + (y0 + yl)) * n_ + x];
     }
-    auto recv = comm_->alltoallv(send);
+    const auto counts = uniform_counts();
+    const auto recv = comm_->alltoallv_flat<Complex>(packed, counts, counts);
     for (int s = 0; s < P; ++s) {
-      const auto& buf = recv[static_cast<std::size_t>(s)];
+      const Complex* buf = recv.data() + static_cast<std::size_t>(s) * block;
       const std::size_t z0 = static_cast<std::size_t>(s) * nslab_;
       std::size_t idx = 0;
       for (std::size_t yl = 0; yl < nslab_; ++yl)
@@ -113,13 +128,13 @@ class DistributedFft {
     }
   }
 
-  // Exact inverse of transpose_z_to_y.
+  // Exact inverse of transpose_z_to_y (same batched single-buffer exchange).
   void transpose_y_to_z(std::vector<Complex>& slab) {
     const int P = comm_->size();
-    std::vector<std::vector<Complex>> send(static_cast<std::size_t>(P));
+    const std::size_t block = nslab_ * n_ * nslab_;
+    std::vector<Complex> packed(local_size());
     for (int d = 0; d < P; ++d) {
-      auto& buf = send[static_cast<std::size_t>(d)];
-      buf.resize(nslab_ * n_ * nslab_);
+      Complex* buf = packed.data() + static_cast<std::size_t>(d) * block;
       const std::size_t z0 = static_cast<std::size_t>(d) * nslab_;
       // Mirror ordering: (y_local, x, z_local) with z_local fastest.
       std::size_t idx = 0;
@@ -129,9 +144,10 @@ class DistributedFft {
           for (std::size_t zl = 0; zl < nslab_; ++zl) buf[idx++] = src[zl];
         }
     }
-    auto recv = comm_->alltoallv(send);
+    const auto counts = uniform_counts();
+    const auto recv = comm_->alltoallv_flat<Complex>(packed, counts, counts);
     for (int s = 0; s < P; ++s) {
-      const auto& buf = recv[static_cast<std::size_t>(s)];
+      const Complex* buf = recv.data() + static_cast<std::size_t>(s) * block;
       const std::size_t y0 = static_cast<std::size_t>(s) * nslab_;
       std::size_t idx = 0;
       for (std::size_t yl = 0; yl < nslab_; ++yl)

@@ -87,9 +87,13 @@ inline CenterResult mbp_center_brute(dpp::Backend backend,
   COSMO_REQUIRE(!members.empty(), "center of an empty halo");
   const std::size_t n = members.size();
   std::vector<double> phi(n);
-  dpp::tabulate<double>(backend, phi, [&](std::size_t k) {
-    return detail::exact_potential(p, members, k, cfg);
-  });
+  // Each item is an O(n) potential sum — heavy and uniform-ish, but halos
+  // run concurrently with other ranks' dispatches, so a small grain lets
+  // the work-stealing pool interleave and balance them.
+  dpp::tabulate<double>(
+      backend, phi,
+      [&](std::size_t k) { return detail::exact_potential(p, members, k, cfg); },
+      /*grain=*/16);
   const std::size_t best =
       dpp::argmin(backend, n, [&](std::size_t k) { return phi[k]; });
   CenterResult r;
@@ -188,9 +192,10 @@ inline void fill_potentials(dpp::Backend backend, sim::ParticleSet& p,
                             std::span<const std::uint32_t> members,
                             const CenterConfig& cfg = {}) {
   std::vector<double> phi(members.size());
-  dpp::tabulate<double>(backend, phi, [&](std::size_t k) {
-    return detail::exact_potential(p, members, k, cfg);
-  });
+  dpp::tabulate<double>(
+      backend, phi,
+      [&](std::size_t k) { return detail::exact_potential(p, members, k, cfg); },
+      /*grain=*/16);
   for (std::size_t k = 0; k < members.size(); ++k)
     p.phi[members[k]] = static_cast<float>(phi[k]);
 }

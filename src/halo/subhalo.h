@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "dpp/primitives.h"
 #include "halo/bh_tree.h"
 #include "halo/kdtree.h"
 #include "sim/particles.h"
@@ -44,6 +45,15 @@ struct SubhaloConfig {
   double velocity_scale = 1.0;      ///< converts stored velocities to the
                                     ///< potential's energy units
   NeighborEngine engine = NeighborEngine::KdTree;
+  /// Execution backend for the per-member density estimates (tree queries
+  /// are read-only, so members evaluate independently). ThreadPool shares
+  /// the work-stealing pool with co-scheduled ranks; Serial reproduces the
+  /// paper's CPU-only finder exactly as before.
+  dpp::Backend backend = dpp::Backend::Serial;
+  /// Members per scheduler chunk on the ThreadPool backend. Neighbor-query
+  /// cost varies with local clustering, so a modest grain lets stealing
+  /// even out the dense cores (0 = auto).
+  std::size_t density_grain = 64;
 };
 
 struct Subhalo {
@@ -101,10 +111,13 @@ inline std::vector<double> local_densities(const sim::ParticleSet& p,
       const double dz = static_cast<double>(p.z[a]) - p.z[j];
       return std::sqrt(dx * dx + dy * dy + dz * dz);
     };
-    for (std::size_t m = 0; m < members.size(); ++m) {
-      const std::uint32_t i = members[m];
-      estimate(m, tree.k_nearest(p.x[i], p.y[i], p.z[i], k), dist);
-    }
+    dpp::for_each_index(
+        cfg.backend, members.size(),
+        [&](std::size_t m) {
+          const std::uint32_t i = members[m];
+          estimate(m, tree.k_nearest(p.x[i], p.y[i], p.z[i], k), dist);
+        },
+        cfg.density_grain);
     return rho;
   }
 
@@ -115,10 +128,13 @@ inline std::vector<double> local_densities(const sim::ParticleSet& p,
     return std::sqrt(
         tree.point_dist2(p.x[a], p.y[a], p.z[a], p.x[j], p.y[j], p.z[j]));
   };
-  for (std::size_t m = 0; m < members.size(); ++m) {
-    const std::uint32_t i = members[m];
-    estimate(m, tree.k_nearest(p.x[i], p.y[i], p.z[i], k), dist);
-  }
+  dpp::for_each_index(
+      cfg.backend, members.size(),
+      [&](std::size_t m) {
+        const std::uint32_t i = members[m];
+        estimate(m, tree.k_nearest(p.x[i], p.y[i], p.z[i], k), dist);
+      },
+      cfg.density_grain);
   return rho;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "comm/comm.h"
+#include "dpp/primitives.h"
 #include "fft/distributed_fft.h"
 #include "fft/fft.h"
 #include "sim/cosmology.h"
@@ -85,6 +86,14 @@ class PmSolver {
   std::size_t z0() const { return fft_.slab_start(); }
   const SlabDecomposition& decomposition() const { return decomp_; }
 
+  /// Execution backend for the race-free grid/particle loops (Green's
+  /// function multiply, force interpolation). Safe to share the pool with
+  /// co-scheduled analysis ranks — the work-stealing scheduler interleaves
+  /// dispatches; results are bit-identical per element either way. The CIC
+  /// deposit stays serial (scatter-add races).
+  void set_backend(dpp::Backend b) { backend_ = b; }
+  dpp::Backend backend() const { return backend_; }
+
   /// CIC deposit of the rank's owned particles. Returns the local density
   /// slab as δ = ρ/ρ̄ − 1 (ghost contributions folded back onto owners).
   /// `mean_per_cell` is the global mean particle count per grid cell.
@@ -121,24 +130,30 @@ class PmSolver {
     const double prefac = -1.5 * cosmo_->params().omega_m / a;
     const double two_pi = 2.0 * std::numbers::pi;
     const std::size_t ky0 = fft_.slab_start();
-    for (std::size_t kyl = 0; kyl < nzl(); ++kyl) {
-      const double ky = two_pi *
-                        static_cast<double>(fft::freq_index(ky0 + kyl, ng_)) /
-                        static_cast<double>(ng_);
-      for (std::size_t kx = 0; kx < ng_; ++kx) {
-        const double kxv = two_pi *
-                           static_cast<double>(fft::freq_index(kx, ng_)) /
-                           static_cast<double>(ng_);
-        for (std::size_t kz = 0; kz < ng_; ++kz) {
-          const double kzv = two_pi *
-                             static_cast<double>(fft::freq_index(kz, ng_)) /
+    // One item per (kyl, kx) pencil — each runs a contiguous kz sweep of ng
+    // multiplies, so a few pencils per chunk is already coarse enough to
+    // amortize dispatch while leaving slack for the pool to steal.
+    dpp::for_each_index(
+        backend_, nzl() * ng_,
+        [&](std::size_t t) {
+          const std::size_t kyl = t / ng_;
+          const std::size_t kx = t % ng_;
+          const double ky = two_pi *
+                            static_cast<double>(fft::freq_index(ky0 + kyl, ng_)) /
+                            static_cast<double>(ng_);
+          const double kxv = two_pi *
+                             static_cast<double>(fft::freq_index(kx, ng_)) /
                              static_cast<double>(ng_);
-          const double k2 = kxv * kxv + ky * ky + kzv * kzv;
-          auto& v = slab[(kyl * ng_ + kx) * ng_ + kz];
-          v = (k2 > 0.0) ? v * (prefac / k2) : fft::Complex(0.0, 0.0);
-        }
-      }
-    }
+          for (std::size_t kz = 0; kz < ng_; ++kz) {
+            const double kzv = two_pi *
+                               static_cast<double>(fft::freq_index(kz, ng_)) /
+                               static_cast<double>(ng_);
+            const double k2 = kxv * kxv + ky * ky + kzv * kzv;
+            auto& v = slab[(kyl * ng_ + kx) * ng_ + kz];
+            v = (k2 > 0.0) ? v * (prefac / k2) : fft::Complex(0.0, 0.0);
+          }
+        },
+        /*grain=*/8);
     fft_.inverse(slab);
 
     SlabField phi(ng_, nzl());
@@ -162,15 +177,25 @@ class PmSolver {
                      std::vector<double>& ax, std::vector<double>& ay,
                      std::vector<double>& az) const {
     SlabField fx(ng_, nzl()), fy(ng_, nzl()), fz(ng_, nzl());
-    for (long zl = 0; zl < static_cast<long>(nzl()); ++zl)
-      for (std::size_t y = 0; y < ng_; ++y)
-        for (std::size_t x = 0; x < ng_; ++x) {
-          fx.at(x, y, zl) = -0.5 * (phi.at(wrap(static_cast<long>(x) + 1), y, zl) -
-                                    phi.at(wrap(static_cast<long>(x) - 1), y, zl));
-          fy.at(x, y, zl) = -0.5 * (phi.at(x, wrap(static_cast<long>(y) + 1), zl) -
-                                    phi.at(x, wrap(static_cast<long>(y) - 1), zl));
-          fz.at(x, y, zl) = -0.5 * (phi.at(x, y, zl + 1) - phi.at(x, y, zl - 1));
-        }
+    // One item per (zl, y) grid row; rows write disjoint cells of fx/fy/fz
+    // and only read phi, so the dispatch is race-free.
+    dpp::for_each_index(
+        backend_, nzl() * ng_,
+        [&](std::size_t t) {
+          const long zl = static_cast<long>(t / ng_);
+          const std::size_t y = t % ng_;
+          for (std::size_t x = 0; x < ng_; ++x) {
+            fx.at(x, y, zl) =
+                -0.5 * (phi.at(wrap(static_cast<long>(x) + 1), y, zl) -
+                        phi.at(wrap(static_cast<long>(x) - 1), y, zl));
+            fy.at(x, y, zl) =
+                -0.5 * (phi.at(x, wrap(static_cast<long>(y) + 1), zl) -
+                        phi.at(x, wrap(static_cast<long>(y) - 1), zl));
+            fz.at(x, y, zl) =
+                -0.5 * (phi.at(x, y, zl + 1) - phi.at(x, y, zl - 1));
+          }
+        },
+        /*grain=*/8);
     exchange_ghost_planes(fx);
     exchange_ghost_planes(fy);
     exchange_ghost_planes(fz);
@@ -180,14 +205,19 @@ class PmSolver {
     az.assign(p.size(), 0.0);
     const double inv_cell = 1.0 / cell();
     const auto zslab0 = static_cast<double>(z0());
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      const double gx = p.x[i] * inv_cell;
-      const double gy = p.y[i] * inv_cell;
-      const double gz = p.z[i] * inv_cell - zslab0;
-      ax[i] = interp_field(fx, gx, gy, gz);
-      ay[i] = interp_field(fy, gx, gy, gz);
-      az[i] = interp_field(fz, gx, gy, gz);
-    }
+    // Per-particle gather (24 reads per field) — light items, so a coarse
+    // grain keeps chunk-claim traffic negligible relative to the work.
+    dpp::for_each_index(
+        backend_, p.size(),
+        [&](std::size_t i) {
+          const double gx = p.x[i] * inv_cell;
+          const double gy = p.y[i] * inv_cell;
+          const double gz = p.z[i] * inv_cell - zslab0;
+          ax[i] = interp_field(fx, gx, gy, gz);
+          ay[i] = interp_field(fy, gx, gy, gz);
+          az[i] = interp_field(fz, gx, gy, gz);
+        },
+        /*grain=*/1024);
   }
 
   /// One KDK leapfrog step from a to a+da for the rank's owned particles.
@@ -403,6 +433,7 @@ class PmSolver {
   SlabDecomposition decomp_;
   std::size_t ng_;
   double box_;
+  dpp::Backend backend_ = dpp::Backend::Serial;
 };
 
 }  // namespace cosmo::sim

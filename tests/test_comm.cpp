@@ -185,6 +185,59 @@ TEST_P(CommRanks, AlltoallvRoutesPersonalizedBuffers) {
   });
 }
 
+TEST_P(CommRanks, AlltoallvFlatMatchesNestedAlltoallv) {
+  const int P = GetParam();
+  run_spmd(P, [&](Comm& c) {
+    // Same traffic pattern as AlltoallvRoutesPersonalizedBuffers, but
+    // through the single-contiguous-buffer path with precomputed counts:
+    // rank r sends (d+1) copies of 100*r + d to destination d.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(P));
+    std::vector<std::size_t> recv_counts(
+        static_cast<std::size_t>(P), static_cast<std::size_t>(c.rank() + 1));
+    std::vector<int> send;
+    for (int d = 0; d < P; ++d) {
+      send_counts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(d + 1);
+      send.insert(send.end(), static_cast<std::size_t>(d + 1),
+                  100 * c.rank() + d);
+    }
+    const auto recv = c.alltoallv_flat<int>(send, send_counts, recv_counts);
+    ASSERT_EQ(recv.size(),
+              static_cast<std::size_t>(P) * static_cast<std::size_t>(c.rank() + 1));
+    std::size_t off = 0;
+    for (int s = 0; s < P; ++s)
+      for (int k = 0; k <= c.rank(); ++k)
+        EXPECT_EQ(recv[off++], 100 * s + c.rank()) << "from rank " << s;
+  });
+}
+
+TEST_P(CommRanks, AlltoallvFlatHandlesZeroCounts) {
+  const int P = GetParam();
+  run_spmd(P, [&](Comm& c) {
+    // Only even ranks send, and only to odd ranks (self blocks are zero for
+    // everyone): exercises empty blocks in both directions.
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(P), 0);
+    std::vector<std::size_t> recv_counts(static_cast<std::size_t>(P), 0);
+    std::vector<double> send;
+    for (int d = 0; d < P; ++d) {
+      if (c.rank() % 2 == 0 && d % 2 == 1) {
+        send_counts[static_cast<std::size_t>(d)] = 2;
+        send.push_back(c.rank() + 0.5);
+        send.push_back(d + 0.25);
+      }
+      if (c.rank() % 2 == 1 && d % 2 == 0)
+        recv_counts[static_cast<std::size_t>(d)] = 2;
+    }
+    const auto recv = c.alltoallv_flat<double>(send, send_counts, recv_counts);
+    std::size_t off = 0;
+    for (int s = 0; s < P; ++s) {
+      if (recv_counts[static_cast<std::size_t>(s)] == 0) continue;
+      EXPECT_DOUBLE_EQ(recv[off++], s + 0.5);
+      EXPECT_DOUBLE_EQ(recv[off++], c.rank() + 0.25);
+    }
+    EXPECT_EQ(off, recv.size());
+  });
+}
+
 TEST_P(CommRanks, ScanValueComputesPrefixSums) {
   const int P = GetParam();
   run_spmd(P, [&](Comm& c) {
