@@ -32,6 +32,11 @@ class PowerSpectrumAlgorithm : public CadencedAlgorithm {
     cfg_.grid = static_cast<std::size_t>(p.get_int("grid", 32));
     cfg_.bins = static_cast<std::size_t>(p.get_int("bins", 16));
     cfg_.subtract_shot_noise = p.get_bool("subtract_shot_noise", false);
+    const std::string be = p.get_string("backend", "serial");
+    COSMO_REQUIRE(be == "serial" || be == "threadpool",
+                  "powerspectrum backend must be serial or threadpool");
+    cfg_.backend = be == "threadpool" ? dpp::Backend::ThreadPool
+                                      : dpp::Backend::Serial;
     COSMO_REQUIRE(fft::is_pow2(cfg_.grid), "power spectrum grid must be 2^n");
   }
 

@@ -303,6 +303,81 @@ void sort_indices_by_key(Backend b, std::span<const K> keys,
   }
 }
 
+/// Scatter-reduce ("deposit"): item i adds contributions at arbitrary
+/// offsets of an accumulator the size of `dest` — the shape of the CIC
+/// density deposit, where every particle scatters weights onto 8 grid
+/// cells and plain parallel for_each would race on the += .
+///
+/// scatter(buf, i) must only ever += into `buf` (a dest-sized span).
+/// Contributions are accumulated on top of dest's existing contents.
+///
+/// Parallel structure: the item range is cut into a bounded number of
+/// contiguous blocks (at most kMaxDepositBuffers × pool-width private
+/// buffers, so memory stays O(workers × dest.size()) no matter the grain).
+/// Block 0 scatters directly into dest; every other block scatters into
+/// its own zero-filled private buffer. The buffers are then merged into
+/// dest in fixed ascending block order, sliced across disjoint dest ranges
+/// so the merge itself parallelizes race-free.
+///
+/// Determinism contract (the PR-2 reduce/scan contract, extended to
+/// scatter): block boundaries and merge order depend only on
+/// (n, grain, pool width) — never on which thread ran which block — and
+/// the Serial backend executes the *same* decomposition single-threaded.
+/// Serial and ThreadPool results are therefore bit-identical for floating
+/// point T, per call shape. (As with reduce, results for non-associative
+/// += can differ across *grains*, which change the block structure.)
+template <typename T, typename Scatter>
+void deposit_reduce(Backend b, std::size_t n, std::span<T> dest,
+                    Scatter scatter, std::size_t grain = 0) {
+  COSMO_COUNT("dpp.deposit_calls", 1);
+  COSMO_COUNT("dpp.deposit_items", n);
+  if (n == 0) return;
+  constexpr std::size_t kMaxDepositBuffers = 4;  // per pool worker
+  const std::size_t nw = ThreadPool::instance().workers();
+  // Two caps on the block count, both deterministic in (n, m, pool width):
+  // memory stays O(workers) buffers, and merge work ((blocks−1)·m adds)
+  // stays within ~8 adds per item — the CIC scatter's own cost — so the
+  // reduction never dominates in the sparse items-per-cell regime.
+  const std::size_t m = dest.size();
+  std::size_t max_blocks = kMaxDepositBuffers * nw;
+  if (m > 0) max_blocks = std::min(max_blocks, 1 + 8 * n / m);
+  if (max_blocks < 1) max_blocks = 1;
+  const std::size_t min_block = (n + max_blocks - 1) / max_blocks;
+  const detail::BlockDecomposition blocks(n, grain, min_block);
+  if (blocks.num_blocks <= 1) {
+    // Single block: in-order scatter straight into dest, both backends.
+    for (std::size_t i = 0; i < n; ++i) scatter(dest, i);
+    return;
+  }
+  COSMO_COUNT("dpp.deposit_buffers", blocks.num_blocks - 1);
+  std::vector<std::vector<T>> partial(blocks.num_blocks - 1);
+  for_each_index(
+      b, blocks.num_blocks,
+      [&](std::size_t blk) {
+        std::span<T> buf = dest;
+        if (blk != 0) {
+          auto& mine = partial[blk - 1];
+          mine.assign(dest.size(), T{});
+          buf = mine;
+        }
+        const std::size_t hi = blocks.hi(blk, n);
+        for (std::size_t i = blocks.lo(blk); i < hi; ++i) scatter(buf, i);
+      },
+      /*grain=*/1);
+  // Plane-sliced merge: each slice owns a disjoint dest range and folds the
+  // private buffers in ascending block order — deterministic and race-free.
+  const detail::BlockDecomposition slices(m, /*grain=*/0, /*min_block=*/1024);
+  for_each_index(
+      b, slices.num_blocks,
+      [&](std::size_t s) {
+        const std::size_t slo = slices.lo(s);
+        const std::size_t shi = slices.hi(s, m);
+        for (const auto& p : partial)
+          for (std::size_t j = slo; j < shi; ++j) dest[j] += p[j];
+      },
+      /*grain=*/1);
+}
+
 /// Counts of key occurrences for keys in [0, num_buckets); the building
 /// block for CIC binning and halo-id segmentation. Parallel backend uses
 /// per-block count arrays merged in block order (blocks are kept coarse —

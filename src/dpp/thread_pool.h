@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -98,6 +99,12 @@ class ThreadPool {
   /// until all chunks complete. fn must be safe to run concurrently on
   /// disjoint ranges. Safe to call concurrently from many threads and
   /// re-entrantly from inside a dispatched fn.
+  ///
+  /// If fn throws, the first exception (in completion order) is captured and
+  /// rethrown here after the whole group drains — fail-fast guards inside
+  /// dispatched kernels (e.g. the PM deposit's beyond-ghost check) surface
+  /// as ordinary exceptions at the dispatch site instead of terminating the
+  /// process from a worker thread. Remaining chunks still run.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 0) {
@@ -148,6 +155,10 @@ class ThreadPool {
     COSMO_HISTOGRAM("dpp.dispatch_wait_ms", 0.0, 50.0, 50, waited_s * 1e3);
 #endif
     retire(home, group.get());
+    // Visibility: the error write happened before the final unfinished
+    // decrement (acq_rel), which we observed either directly or through the
+    // mutex-protected done flag.
+    if (group->error) std::rethrow_exception(group->error);
   }
 
  private:
@@ -161,6 +172,7 @@ class ThreadPool {
     std::mutex mutex;
     std::condition_variable done_cv;
     bool done = false;
+    std::exception_ptr error;  // first chunk exception; guarded by mutex
 
     bool exhausted() const {
       return cursor.load(std::memory_order_relaxed) >= num_chunks;
@@ -230,7 +242,12 @@ class ThreadPool {
       const std::size_t lo = c * group.grain;
       const std::size_t hi =
           lo + group.grain < group.n ? lo + group.grain : group.n;
-      (*group.fn)(lo, hi);
+      try {
+        (*group.fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(group.mutex);
+        if (!group.error) group.error = std::current_exception();
+      }
 #ifndef COSMO_OBS_DISABLED
       COSMO_COUNT("dpp.chunks_run", 1);
       if (helping) COSMO_COUNT("dpp.chunks_helped", 1);

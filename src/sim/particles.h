@@ -6,6 +6,7 @@
 // (potential sums, CIC deposits) on contiguous, predictable memory.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -92,13 +93,22 @@ class ParticleSet {
   }
 
   /// Wraps all positions into [0, box) (periodic boundary conditions).
+  /// Non-finite coordinates fail fast: a NaN would sail through any
+  /// comparison-based wrap and corrupt slab routing in redistribute()
+  /// much later, and −inf made the old while-loop wrap spin forever
+  /// (−inf + box == −inf).
   void wrap_positions(float box) {
     COSMO_REQUIRE(box > 0.0f, "box size must be positive");
     auto wrap = [box](float& v) {
-      while (v < 0.0f) v += box;
-      while (v >= box) v -= box;
+      v = std::fmod(v, box);
+      if (v < 0.0f) v += box;
+      // fmod(-ε, box) + box can round up to exactly box; fold it to 0.
+      if (v >= box) v -= box;
     };
     for (std::size_t i = 0; i < size(); ++i) {
+      COSMO_REQUIRE(
+          std::isfinite(x[i]) && std::isfinite(y[i]) && std::isfinite(z[i]),
+          "non-finite particle position — the integrator diverged");
       wrap(x[i]);
       wrap(y[i]);
       wrap(z[i]);

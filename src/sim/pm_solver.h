@@ -27,6 +27,7 @@
 #include "dpp/primitives.h"
 #include "fft/distributed_fft.h"
 #include "fft/fft.h"
+#include "obs/obs.h"
 #include "sim/cosmology.h"
 #include "sim/decomposition.h"
 #include "sim/particles.h"
@@ -54,6 +55,11 @@ class SlabField {
   }
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Whole storage including both ghost planes, in plane-major order —
+  /// the accumulator layout the parallel deposit scatters into.
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
 
   std::span<double> plane(long zl) {
     return {data_.data() + static_cast<std::size_t>(zl + 1) * ng_ * ng_,
@@ -86,37 +92,51 @@ class PmSolver {
   std::size_t z0() const { return fft_.slab_start(); }
   const SlabDecomposition& decomposition() const { return decomp_; }
 
-  /// Execution backend for the race-free grid/particle loops (Green's
-  /// function multiply, force interpolation). Safe to share the pool with
+  /// Execution backend for every grid/particle loop of the solver: Green's
+  /// function multiply, force interpolation, and (since the scatter-reduce
+  /// primitive landed) the CIC deposit itself. Safe to share the pool with
   /// co-scheduled analysis ranks — the work-stealing scheduler interleaves
-  /// dispatches; results are bit-identical per element either way. The CIC
-  /// deposit stays serial (scatter-add races).
+  /// dispatches; results are bit-identical to Serial either way (the
+  /// deposit goes through dpp::deposit_reduce's fixed block-order merge).
   void set_backend(dpp::Backend b) { backend_ = b; }
   dpp::Backend backend() const { return backend_; }
+
+  /// Deposit chunk size in particles (0 = auto). The δ field is
+  /// backend-invariant for any fixed grain; different grains change the
+  /// private-buffer block structure and hence the summation order.
+  void set_deposit_grain(std::size_t g) { deposit_grain_ = g; }
+  std::size_t deposit_grain() const { return deposit_grain_; }
 
   /// CIC deposit of the rank's owned particles. Returns the local density
   /// slab as δ = ρ/ρ̄ − 1 (ghost contributions folded back onto owners).
   /// `mean_per_cell` is the global mean particle count per grid cell.
   SlabField deposit_density(const ParticleSet& p, double mean_per_cell) const {
     COSMO_REQUIRE(mean_per_cell > 0.0, "mean particle count must be positive");
+    COSMO_TRACE_SPAN_CAT("sim.deposit", "sim");
     SlabField rho(ng_, nzl());
     const double inv_cell = 1.0 / cell();
     const auto zslab0 = static_cast<double>(z0());
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      const double gx = p.x[i] * inv_cell;
-      const double gy = p.y[i] * inv_cell;
-      const double gz = p.z[i] * inv_cell - zslab0;  // slab-local plane index
-      deposit_cic(rho, gx, gy, gz, 1.0);
-    }
+    dpp::deposit_reduce<double>(
+        backend_, p.size(), rho.data(),
+        [&](std::span<double> buf, std::size_t i) {
+          const double gx = p.x[i] * inv_cell;
+          const double gy = p.y[i] * inv_cell;
+          const double gz = p.z[i] * inv_cell - zslab0;  // slab-local plane
+          deposit_cic(buf, gx, gy, gz, 1.0);
+        },
+        deposit_grain_);
     fold_ghost_planes(rho);
-    // Normalize to overdensity.
-    for (long zl = 0; zl < static_cast<long>(nzl()); ++zl)
-      for (auto& v : rho.plane(zl)) v = v / mean_per_cell - 1.0;
+    // Normalize to overdensity — pure per-element map, one item per plane.
+    dpp::for_each_index(backend_, nzl(), [&](std::size_t zl) {
+      for (auto& v : rho.plane(static_cast<long>(zl)))
+        v = v / mean_per_cell - 1.0;
+    });
     return rho;
   }
 
   /// Solves ∇²φ = (3/2)(Ω_m/a) δ on the slab; fills φ's ghost planes.
   SlabField solve_potential(const SlabField& delta, double a) const {
+    COSMO_TRACE_SPAN_CAT("sim.solve", "sim");
     std::vector<fft::Complex> slab(fft_.local_size());
     for (long zl = 0; zl < static_cast<long>(nzl()); ++zl)
       for (std::size_t y = 0; y < ng_; ++y)
@@ -176,6 +196,7 @@ class PmSolver {
   void accelerations(const SlabField& phi, const ParticleSet& p,
                      std::vector<double>& ax, std::vector<double>& ay,
                      std::vector<double>& az) const {
+    COSMO_TRACE_SPAN_CAT("sim.accel", "sim");
     SlabField fx(ng_, nzl()), fy(ng_, nzl()), fz(ng_, nzl());
     // One item per (zl, y) grid row; rows write disjoint cells of fx/fy/fz
     // and only read phi, so the dispatch is race-free.
@@ -225,6 +246,7 @@ class PmSolver {
   /// grid units. Re-redistributes particles to their owner slabs at the end.
   ParticleSet step(ParticleSet particles, double a, double da,
                    double global_particle_count) {
+    COSMO_TRACE_SPAN_CAT("sim.step", "sim");
     const double mean_per_cell = global_particle_count /
                                  (static_cast<double>(ng_) *
                                   static_cast<double>(ng_) *
@@ -254,8 +276,11 @@ class PmSolver {
   }
 
  private:
-  /// CIC deposit of weight w at grid position (gx, gy, gz-local).
-  void deposit_cic(SlabField& rho, double gx, double gy, double gz,
+  /// CIC deposit of weight w at grid position (gx, gy, gz-local) into a
+  /// slab-shaped accumulator (SlabField::data() layout: ghost plane, nzl
+  /// owned planes, ghost plane). Takes the raw span so the parallel
+  /// deposit can scatter into per-block private buffers.
+  void deposit_cic(std::span<double> slab, double gx, double gy, double gz,
                    double w) const {
     const long ix = static_cast<long>(std::floor(gx));
     const long iy = static_cast<long>(std::floor(gy));
@@ -266,7 +291,7 @@ class PmSolver {
     for (int cz = 0; cz < 2; ++cz) {
       const long zz = iz + cz;
       // Owned planes are [0, nzl); deposits may spill one plane either way.
-      COSMO_REQUIRE(zz >= -1 && zz <= static_cast<long>(rho.nzl()),
+      COSMO_REQUIRE(zz >= -1 && zz <= static_cast<long>(nzl()),
                     "particle deposits beyond ghost planes — redistribute first");
       const double wz = cz ? dz : 1.0 - dz;
       for (int cy = 0; cy < 2; ++cy) {
@@ -275,7 +300,8 @@ class PmSolver {
         for (int cx = 0; cx < 2; ++cx) {
           const std::size_t xx = wrap(ix + cx);
           const double wx = cx ? dx : 1.0 - dx;
-          rho.at(xx, yy, zz) += w * wx * wy * wz;
+          slab[static_cast<std::size_t>(zz + 1) * ng_ * ng_ + yy * ng_ + xx] +=
+              w * wx * wy * wz;
         }
       }
     }
@@ -288,6 +314,11 @@ class PmSolver {
     const long ix = static_cast<long>(std::floor(gx));
     const long iy = static_cast<long>(std::floor(gy));
     const long iz = static_cast<long>(std::floor(gz));
+    // Reads planes iz and iz+1; the slab (with ghosts) holds [-1, nzl].
+    // A particle that drifted outside the slab would otherwise silently
+    // read out-of-bounds heap — the deposit's matching guard fails fast.
+    COSMO_REQUIRE(iz >= -1 && iz + 1 <= static_cast<long>(f.nzl()),
+                  "particle reads beyond ghost planes — redistribute first");
     const double dx = gx - static_cast<double>(ix);
     const double dy = gy - static_cast<double>(iy);
     const double dz = gz - static_cast<double>(iz);
@@ -434,6 +465,7 @@ class PmSolver {
   std::size_t ng_;
   double box_;
   dpp::Backend backend_ = dpp::Backend::Serial;
+  std::size_t deposit_grain_ = 0;
 };
 
 }  // namespace cosmo::sim

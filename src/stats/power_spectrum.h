@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/comm.h"
+#include "dpp/primitives.h"
 #include "fft/distributed_fft.h"
 #include "fft/fft.h"
 #include "sim/particles.h"
@@ -27,6 +28,10 @@ struct PowerSpectrumConfig {
   std::size_t bins = 16;          ///< |k| bins between k_fund and k_Nyquist
   bool subtract_shot_noise = true;
   bool deconvolve_cic = true;
+  /// Backend for the CIC deposit (dpp::deposit_reduce via PmSolver): the
+  /// measured spectrum is bit-identical either way, so an in-situ
+  /// measurement can share the pool with co-scheduled analysis ranks.
+  dpp::Backend backend = dpp::Backend::Serial;
 };
 
 struct PowerSpectrum {
@@ -48,9 +53,11 @@ inline PowerSpectrum measure_power_spectrum(comm::Comm& comm,
   fft::DistributedFft dfft(comm, ng);
   const std::size_t nzl = dfft.slab_thickness();
 
-  // CIC overdensity on the slab (reuse the PM deposit machinery).
+  // CIC overdensity on the slab (reuse the PM deposit machinery — the
+  // parallel scatter-reduce deposit included, per cfg.backend).
   sim::Cosmology cosmo;  // deposit only needs geometry, not parameters
   sim::PmSolver pm(comm, cosmo, ng, box);
+  pm.set_backend(cfg.backend);
   const double mean_per_cell =
       static_cast<double>(total_particles) /
       (static_cast<double>(ng) * static_cast<double>(ng) * static_cast<double>(ng));

@@ -14,7 +14,8 @@
 namespace cosmo {
 
 /// Fixed-width linear histogram over [lo, hi); out-of-range samples are
-/// counted separately so totals always reconcile.
+/// counted (and their weight tracked) separately, so both total() and
+/// total_weight() always reconcile with what was added.
 class LinearHistogram {
  public:
   LinearHistogram(double lo, double hi, std::size_t bins)
@@ -26,10 +27,12 @@ class LinearHistogram {
   void add(double x, double weight = 1.0) {
     if (x < lo_) {
       ++underflow_;
+      underflow_weight_ += weight;
       return;
     }
     if (x >= hi_) {
       ++overflow_;
+      overflow_weight_ += weight;
       return;
     }
     const auto b = static_cast<std::size_t>((x - lo_) / width());
@@ -46,10 +49,19 @@ class LinearHistogram {
   double weight(std::size_t b) const { return weights_[b]; }
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
+  double underflow_weight() const { return underflow_weight_; }
+  double overflow_weight() const { return overflow_weight_; }
 
   std::uint64_t total() const {
     std::uint64_t t = underflow_ + overflow_;
     for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// Sum of every weight ever passed to add(), in-range or not.
+  double total_weight() const {
+    double t = underflow_weight_ + overflow_weight_;
+    for (auto w : weights_) t += w;
     return t;
   }
 
@@ -58,6 +70,7 @@ class LinearHistogram {
   std::vector<std::uint64_t> counts_;
   std::vector<double> weights_;
   std::uint64_t underflow_ = 0, overflow_ = 0;
+  double underflow_weight_ = 0.0, overflow_weight_ = 0.0;
 };
 
 /// Logarithmically spaced histogram over [lo, hi); requires lo > 0.

@@ -182,6 +182,157 @@ TEST_P(DppBackends, CopyIfIndexEmptyResult) {
   EXPECT_TRUE(none.empty());
 }
 
+// ------------------------------------------------- deposit_reduce (scatter)
+
+// CIC-shaped scatter used by the deposit tests: item i adds fractional
+// weights to two adjacent cells of a wrapping 1-D grid.
+struct TestScatter {
+  std::size_t cells;
+  std::span<const double> pos;  // fractional grid positions
+  void operator()(std::span<double> buf, std::size_t i) const {
+    const auto c = static_cast<std::size_t>(pos[i]);
+    const double frac = pos[i] - static_cast<double>(c);
+    buf[c % cells] += 1.0 - frac;
+    buf[(c + 1) % cells] += frac;
+  }
+};
+
+TEST_P(DppBackends, DepositReduceConservesScatteredWeight) {
+  Rng rng(21);
+  constexpr std::size_t kCells = 257;
+  std::vector<double> pos(60011);
+  for (auto& p : pos) p = rng.uniform(0.0, static_cast<double>(kCells));
+  std::vector<double> grid(kCells, 0.0);
+  dpp::deposit_reduce<double>(GetParam(), pos.size(), grid,
+                              TestScatter{kCells, pos});
+  const double total = std::accumulate(grid.begin(), grid.end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(pos.size()), 1e-6);
+}
+
+TEST_P(DppBackends, DepositReduceExactWithIntegerWeights) {
+  // Integer-valued doubles are exact under any summation order, so the
+  // result must match a plain serial count regardless of decomposition.
+  Rng rng(22);
+  constexpr std::size_t kCells = 100;
+  std::vector<std::size_t> target(50000);
+  for (auto& t : target) t = rng.below(kCells);
+  std::vector<double> grid(kCells, 0.0);
+  dpp::deposit_reduce<double>(
+      GetParam(), target.size(), grid,
+      [&](std::span<double> buf, std::size_t i) { buf[target[i]] += 1.0; });
+  std::vector<double> expect(kCells, 0.0);
+  for (auto t : target) expect[t] += 1.0;
+  EXPECT_EQ(grid, expect);
+}
+
+TEST_P(DppBackends, DepositReduceAccumulatesOntoExistingDest) {
+  std::vector<double> grid(8, 10.0);
+  dpp::deposit_reduce<double>(
+      GetParam(), 16, grid,
+      [](std::span<double> buf, std::size_t i) { buf[i % 8] += 1.0; });
+  for (const auto v : grid) EXPECT_DOUBLE_EQ(v, 12.0);
+}
+
+TEST_P(DppBackends, DepositReduceEmptyIsNoop) {
+  std::vector<double> grid(4, 1.0);
+  dpp::deposit_reduce<double>(
+      GetParam(), 0, grid,
+      [](std::span<double> buf, std::size_t) { buf[0] += 1.0; });
+  EXPECT_EQ(grid, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
+}
+
+// The determinism contract: for every grain, the ThreadPool result is
+// bit-identical to Serial — the block decomposition and merge order depend
+// only on (n, grain, pool width), never on which thread ran which block.
+TEST(DppDeposit, BackendsBitIdenticalAcrossGrains) {
+  Rng rng(23);
+  constexpr std::size_t kCells = 513;
+  std::vector<double> pos(40009);
+  for (auto& p : pos) p = rng.uniform(0.0, static_cast<double>(kCells));
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{37}, std::size_t{4096},
+                                  std::size_t{1000000}}) {
+    std::vector<double> serial(kCells, 0.0), pooled(kCells, 0.0);
+    dpp::deposit_reduce<double>(Backend::Serial, pos.size(), serial,
+                                TestScatter{kCells, pos}, grain);
+    dpp::deposit_reduce<double>(Backend::ThreadPool, pos.size(), pooled,
+                                TestScatter{kCells, pos}, grain);
+    for (std::size_t c = 0; c < kCells; ++c)
+      ASSERT_EQ(serial[c], pooled[c]) << "cell " << c << " grain " << grain;
+    // Same-backend reruns are bit-stable too.
+    std::vector<double> again(kCells, 0.0);
+    dpp::deposit_reduce<double>(Backend::ThreadPool, pos.size(), again,
+                                TestScatter{kCells, pos}, grain);
+    ASSERT_EQ(pooled, again) << "grain " << grain;
+  }
+}
+
+// Concurrent SPMD ranks each running their own deposit must neither race
+// nor cross-contaminate accumulators (the TSan-covered dispatch shape the
+// parallel CIC deposit adds: scatter blocks plus the plane-sliced merge).
+TEST(DppDeposit, ConcurrentRankDepositsStayExact) {
+  constexpr int kRanks = 4;
+  constexpr int kIters = 6;
+  constexpr std::size_t kCells = 1024;
+  constexpr std::size_t kItems = 60000;
+  comm::run_spmd(kRanks, [&](comm::Comm& c) {
+    Rng rng(31 + static_cast<std::uint64_t>(c.rank()));
+    std::vector<std::size_t> target(kItems);
+    for (auto& t : target) t = rng.below(kCells);
+    std::vector<double> expect(kCells, 0.0);
+    for (auto t : target) expect[t] += 1.0;
+    for (int iter = 0; iter < kIters; ++iter) {
+      std::vector<double> grid(kCells, 0.0);
+      dpp::deposit_reduce<double>(
+          Backend::ThreadPool, kItems, grid,
+          [&](std::span<double> buf, std::size_t i) {
+            buf[target[i]] += 1.0;
+          });
+      ASSERT_EQ(grid, expect) << "rank " << c.rank() << " iter " << iter;
+    }
+    c.barrier();
+  });
+}
+
+// A fail-fast guard inside a dispatched kernel must surface as an ordinary
+// exception at the dispatch site — not std::terminate on a worker thread.
+// (The parallel deposit and the CIC interpolation guard both rely on this.)
+TEST(DppPool, ParallelForPropagatesWorkerExceptions) {
+  constexpr std::size_t kN = 100000;
+  auto throwing = [&] {
+    dpp::ThreadPool::instance().parallel_for(
+        kN,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i)
+            COSMO_REQUIRE(i != kN - 7, "poisoned item");
+        },
+        /*grain=*/64);
+  };
+  EXPECT_THROW(throwing(), Error);
+  // The pool must stay fully usable afterwards.
+  std::vector<std::uint64_t> out(kN);
+  dpp::ThreadPool::instance().parallel_for(
+      kN, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) out[i] = 2 * i;
+      });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], 2 * i);
+}
+
+// Exceptions propagate through deposit_reduce's pooled path as well (the
+// scatter phase runs on workers).
+TEST(DppDeposit, ScatterExceptionPropagates) {
+  std::vector<double> grid(16, 0.0);
+  auto bad = [&] {
+    dpp::deposit_reduce<double>(
+        Backend::ThreadPool, 100000, grid,
+        [](std::span<double> buf, std::size_t i) {
+          COSMO_REQUIRE(i != 99999, "poisoned scatter");
+          buf[i % 16] += 1.0;
+        });
+  };
+  EXPECT_THROW(bad(), Error);
+}
+
 TEST(DppPool, WorkersAtLeastTwo) {
   EXPECT_GE(dpp::ThreadPool::instance().workers(), 2u);
 }

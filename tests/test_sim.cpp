@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -109,6 +111,33 @@ TEST(ParticleSet, WrapPositionsIsPeriodic) {
   EXPECT_FLOAT_EQ(p.x[0], 63.0f);
   EXPECT_FLOAT_EQ(p.y[0], 1.0f);
   EXPECT_FLOAT_EQ(p.z[0], 0.0f);
+}
+
+TEST(ParticleSet, WrapPositionsHandlesExtremeMagnitudes) {
+  ParticleSet p;
+  // fmod-based wrap is O(1) even for values the old while-loop would have
+  // iterated ~1e8 times over (and it must still land in [0, box)).
+  p.push_back(1.0e9f, -1.0e9f, -1.0e-7f, 0, 0, 0, 0);
+  p.wrap_positions(64.0f);
+  for (const float v : {p.x[0], p.y[0], p.z[0]}) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 64.0f);
+  }
+}
+
+TEST(ParticleSet, WrapPositionsRejectsNonFinite) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // −inf looped forever in the old wrap (−inf + box == −inf); NaN passed
+  // both comparisons untouched and corrupted slab routing much later.
+  for (const float bad : {nan, inf, -inf}) {
+    ParticleSet p;
+    p.push_back(bad, 1.0f, 1.0f, 0, 0, 0, 0);
+    EXPECT_THROW(p.wrap_positions(64.0f), Error) << "x = " << bad;
+    ParticleSet q;
+    q.push_back(1.0f, 1.0f, bad, 0, 0, 0, 0);
+    EXPECT_THROW(q.wrap_positions(64.0f), Error) << "z = " << bad;
+  }
 }
 
 TEST(PeriodicDist, MinimumImage) {
@@ -250,6 +279,145 @@ TEST_P(PmRanks, DepositConservesMass) {
           local_sum += (delta.at(x, y, zl) + 1.0) * mean;
     const double total = c.allreduce_value(local_sum, comm::ReduceOp::Sum);
     EXPECT_NEAR(total, 200.0 * P, 1e-6);
+  });
+}
+
+// The parallel-deposit determinism contract: for every rank count and every
+// deposit grain, the ThreadPool δ field is bit-identical to Serial — the
+// scatter-reduce block structure depends only on (n, grain, pool width),
+// never on thread scheduling.
+TEST_P(PmRanks, DepositBackendsBitIdenticalAcrossGrains) {
+  const int P = GetParam();
+  const std::size_t ng = 16;
+  const double box = 64.0;
+  comm::run_spmd(P, [&](comm::Comm& c) {
+    Cosmology cosmo;
+    SlabDecomposition d(P, box);
+    ParticleSet scattered;
+    Rng rng(41 + static_cast<std::uint64_t>(c.rank()));
+    for (int i = 0; i < 4000; ++i)
+      scattered.push_back(static_cast<float>(rng.uniform(0, box)),
+                          static_cast<float>(rng.uniform(0, box)),
+                          static_cast<float>(rng.uniform(0, box)), 0, 0, 0, i);
+    ParticleSet owned = d.redistribute(c, scattered);
+    const double mean = 4000.0 * P / (ng * ng * ng);
+    for (const std::size_t grain :
+         {std::size_t{0}, std::size_t{64}, std::size_t{977}}) {
+      PmSolver serial_pm(c, cosmo, ng, box);
+      serial_pm.set_backend(dpp::Backend::Serial);
+      serial_pm.set_deposit_grain(grain);
+      PmSolver pooled_pm(c, cosmo, ng, box);
+      pooled_pm.set_backend(dpp::Backend::ThreadPool);
+      pooled_pm.set_deposit_grain(grain);
+      SlabField ds = serial_pm.deposit_density(owned, mean);
+      SlabField dp = pooled_pm.deposit_density(owned, mean);
+      auto a = ds.data();
+      auto b = dp.data();
+      ASSERT_EQ(a.size(), b.size());
+      ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+          << "rank " << c.rank() << " grain " << grain;
+    }
+  });
+}
+
+// P == 2 is the ordering-sensitive fold path: both ghost planes go to the
+// SAME neighbor and must concatenate as [lower spill, upper spill]. Each
+// rank drops one particle whose CIC cloud straddles its upper slab face at
+// an exactly-representable grid position, so the spilled half-weight must
+// land on the *other* rank's bottom plane at that rank's distinct (x, y).
+TEST(PmSolver, FoldGhostPlanesP2RoutesSpillToCorrectNeighbor) {
+  const std::size_t ng = 8;
+  const double box = 64.0;  // cell = 8.0, exactly representable
+  comm::run_spmd(2, [&](comm::Comm& c) {
+    Cosmology cosmo;
+    PmSolver pm(c, cosmo, ng, box);
+    ASSERT_EQ(pm.nzl(), 4u);
+    // rank 0: (x, y) node (2, 2); rank 1: node (3, 3). z at slab-local
+    // plane 3.5 → half the weight deposits onto ghost plane 4 = the other
+    // rank's plane 0 (rank 1's ghost wraps the periodic seam to rank 0).
+    ParticleSet p;
+    const float xy = c.rank() == 0 ? 16.0f : 24.0f;
+    const float z = c.rank() == 0 ? 28.0f : 60.0f;
+    p.push_back(xy, xy, z, 0, 0, 0, 0);
+    SlabField delta = pm.deposit_density(p, /*mean_per_cell=*/1.0);
+    const std::size_t own = c.rank() == 0 ? 2 : 3;
+    const std::size_t other = c.rank() == 0 ? 3 : 2;
+    // Own half-weight stays on our top owned plane.
+    EXPECT_DOUBLE_EQ(delta.at(own, own, 3), 0.5 - 1.0);
+    // The neighbor's spill lands on our bottom plane at ITS (x, y) — if the
+    // P == 2 concatenation order regressed, it would land on plane 3 (or at
+    // our own (x, y)) instead.
+    EXPECT_DOUBLE_EQ(delta.at(other, other, 0), 0.5 - 1.0);
+    EXPECT_DOUBLE_EQ(delta.at(own, own, 0), -1.0);
+    EXPECT_DOUBLE_EQ(delta.at(other, other, 3), -1.0);
+    // Everything else is empty (δ = −1).
+    double sum = 0.0;
+    for (long zl = 0; zl < 4; ++zl)
+      for (std::size_t y = 0; y < ng; ++y)
+        for (std::size_t x = 0; x < ng; ++x) sum += delta.at(x, y, zl) + 1.0;
+    EXPECT_NEAR(sum, 1.0, 1e-12);  // one particle's worth per rank
+  });
+}
+
+// P == 2 ghost *exchange* (the same same-neighbor concatenation shape, for
+// φ): after solve_potential, each rank's ghost planes must be exact copies
+// of the neighbor's boundary planes.
+TEST(PmSolver, ExchangeGhostPlanesP2MatchesNeighborBoundary) {
+  const std::size_t ng = 8;
+  const double box = 64.0;
+  comm::run_spmd(2, [&](comm::Comm& c) {
+    Cosmology cosmo;
+    PmSolver pm(c, cosmo, ng, box);
+    SlabDecomposition d(2, box);
+    ParticleSet scattered;
+    Rng rng(53 + static_cast<std::uint64_t>(c.rank()));
+    for (int i = 0; i < 300; ++i)
+      scattered.push_back(static_cast<float>(rng.uniform(0, box)),
+                          static_cast<float>(rng.uniform(0, box)),
+                          static_cast<float>(rng.uniform(0, box)), 0, 0, 0, i);
+    ParticleSet owned = d.redistribute(c, scattered);
+    const double mean = 600.0 / (ng * ng * ng);
+    SlabField delta = pm.deposit_density(owned, mean);
+    SlabField phi = pm.solve_potential(delta, 1.0);
+    const long top = static_cast<long>(pm.nzl()) - 1;
+    // Swap boundary planes with the (single) neighbor and cross-check.
+    const int nbr = 1 - c.rank();
+    auto bot_plane = phi.plane(0);
+    auto top_plane = phi.plane(top);
+    c.send<double>(nbr, 11,
+                   std::span<const double>(bot_plane.data(), bot_plane.size()));
+    c.send<double>(nbr, 12,
+                   std::span<const double>(top_plane.data(), top_plane.size()));
+    const auto nbr_bot = c.recv<double>(nbr, 11);
+    const auto nbr_top = c.recv<double>(nbr, 12);
+    auto glo = phi.plane(-1);
+    auto ghi = phi.plane(static_cast<long>(pm.nzl()));
+    ASSERT_EQ(nbr_top.size(), glo.size());
+    for (std::size_t i = 0; i < glo.size(); ++i) {
+      // Lower ghost = neighbor's top plane; upper ghost = neighbor's bottom.
+      ASSERT_EQ(glo[i], nbr_top[i]) << "lower ghost cell " << i;
+      ASSERT_EQ(ghi[i], nbr_bot[i]) << "upper ghost cell " << i;
+    }
+  });
+}
+
+// A particle outside [-1, nzl] after a large drift must fail fast in the
+// CIC interpolation (it used to silently read out-of-bounds heap; the
+// deposit already threw).
+TEST(PmSolver, AccelerationsRejectParticleBeyondGhostPlanes) {
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    Cosmology cosmo;
+    const std::size_t ng = 8;
+    PmSolver pm(c, cosmo, ng, 64.0);
+    SlabField phi(ng, pm.nzl());  // zero field; bounds are what matters
+    ParticleSet p;
+    p.push_back(1.0f, 1.0f, 200.0f, 0, 0, 0, 0);  // z ≫ box: gz = 25 > nzl
+    std::vector<double> ax, ay, az;
+    EXPECT_THROW(pm.accelerations(phi, p, ax, ay, az), Error);
+    // And below the lower ghost as well.
+    ParticleSet q;
+    q.push_back(1.0f, 1.0f, -100.0f, 0, 0, 0, 0);
+    EXPECT_THROW(pm.accelerations(phi, q, ax, ay, az), Error);
   });
 }
 

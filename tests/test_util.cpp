@@ -129,6 +129,33 @@ TEST(LinearHistogram, WeightsAccumulate) {
   EXPECT_DOUBLE_EQ(h.weight(1), 7.0);
 }
 
+// Regression: underflow/overflow used to drop the sample's WEIGHT (only
+// counts were tracked), so weighted totals never reconciled with what was
+// added — the promise the class comment makes.
+TEST(LinearHistogram, OutOfRangeWeightsReconcile) {
+  LinearHistogram h(0.0, 10.0, 4);
+  h.add(2.5, 1.5);    // bin 1
+  h.add(7.5, 2.5);    // bin 3
+  h.add(-3.0, 4.0);   // underflow
+  h.add(-1.0, 0.25);  // underflow
+  h.add(10.0, 8.0);   // overflow (hi is exclusive)
+  h.add(99.0, 16.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.underflow_weight(), 4.25);
+  EXPECT_DOUBLE_EQ(h.overflow_weight(), 24.0);
+  double added = 1.5 + 2.5 + 4.0 + 0.25 + 8.0 + 16.0;
+  EXPECT_DOUBLE_EQ(h.total_weight(), added);
+  // Counts still reconcile independently of weights.
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 6u);
+  // In-range-only histogram: out-of-range trackers stay zero.
+  LinearHistogram g(0.0, 1.0, 2);
+  g.add(0.5, 3.0);
+  EXPECT_DOUBLE_EQ(g.underflow_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(g.overflow_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+}
+
 TEST(LinearHistogram, RejectsEmptyRange) {
   EXPECT_THROW(LinearHistogram(1.0, 1.0, 4), Error);
   EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), Error);
