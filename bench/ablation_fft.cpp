@@ -1,0 +1,357 @@
+// Ablation: batched vs pipelined distributed-FFT transpose exchange.
+//
+// The PM solve's comm phase is two all-to-all transposes per FFT direction.
+// The batched path packs all P pencil blocks, ships one collective, then
+// unpacks — pack → exchange → unpack strictly sequential per rank, so every
+// microsecond a peer's block is late lands in comm.recv_wait_us. The
+// pipelined path posts each block through an AlltoallvFlatSession the moment
+// it finishes packing and unpacks blocks as they arrive, so most of the
+// exchange hides behind the packing of later blocks
+// (comm.a2a_blocks_overlapped counts the hidden fraction).
+//
+// Scenarios: batched vs pipelined × Serial vs ThreadPool standalone, both
+// exchange modes co-scheduled with analysis driver threads hammering the
+// shared pool (the paper's in-situ arrangement, medians over interleaved
+// repeats), and an exchange-isolation pair where the recv_wait comparison is
+// structural rather than scheduler-dependent (see kIsoTransposes). The
+// determinism contract is asserted, not assumed: every scenario's k-space
+// output must be CRC-identical. Results land in BENCH_fft.json.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/comm.h"
+#include "dpp/primitives.h"
+#include "fft/distributed_fft.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace cosmo;
+
+namespace {
+
+constexpr int kRanks = 4;           // the acceptance point: P = 4
+constexpr std::size_t kGrid = 128;  // 128^3 grid: ~2 MB pencil blocks, big
+                                    // enough that pack/exchange/unpack are
+                                    // milliseconds each and the spans resolve
+                                    // the phase structure
+constexpr int kReps = 3;            // forward+inverse pairs per scenario
+// Ranks never reach a transpose in lockstep in the real workflow — the
+// compute phases upstream (deposit, halo work) are imbalanced, so peers'
+// blocks are late. Model that with a deterministic per-rank stagger of the
+// same order as one block pack.
+constexpr int kSkewMs = 10;
+constexpr int kAnalysisDrivers = 2;
+// The co-scheduled scenarios are noisy (the analysis drivers perturb which
+// rank the scheduler lands on at every timeslice), so they are reported as
+// the median over interleaved batched/pipelined pairs.
+constexpr int kCoPairs = 5;
+// Exchange-isolation scenarios: same P, same block geometry and session
+// traffic as the FFT transpose, but the per-block pack compute is replaced
+// by a parked sleep. On a host with fewer cores than ranks the real-FFT
+// scenarios serialize all pack compute onto one core, so the time of the
+// last block arrival — which comm.recv_wait_us telescopes to — is set by
+// scheduler interleaving rather than by exchange structure. Parking the pack
+// stand-ins frees the core for whichever rank is behind, making arrival
+// times structural again: the batched exchange holds every send until the
+// straggler's whole pack phase is done, while the pipelined session has
+// posted all but its last block by then. This pair is the recv_wait
+// acceptance gate; the real-FFT scenarios gate bit-identity and report
+// wall/exchange-span/overlap.
+constexpr int kIsoTransposes = 6;  // matches kReps forward+inverse pairs
+constexpr int kIsoPackMs = 10;     // per-block pack stand-in
+constexpr int kIsoSkewMs = 25;     // imbalanced upstream compute stand-in
+
+using ExchangeMode = fft::DistributedFft::ExchangeMode;
+
+struct FftStats {
+  double wall_s = 0.0;
+  double exchange_s = 0.0;        // fft.exchange span total (all ranks)
+  double pack_s = 0.0;            // fft.pack span total
+  std::uint64_t recv_wait_us = 0; // comm.recv_wait_us during the FFT phase
+  std::uint64_t overlapped = 0;   // comm.a2a_blocks_overlapped
+  std::uint64_t payload_reuse = 0;
+  std::uint32_t crc = 0;          // combined k-space CRC across ranks
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Per-field medians over repeated runs of one scenario. The CRC must be
+/// identical across runs (the transform is deterministic), so taking the
+/// first is safe — and main() cross-checks every run's CRC anyway.
+FftStats median_stats(const std::vector<FftStats>& runs) {
+  auto field = [&](auto get) {
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto& r : runs) v.push_back(get(r));
+    return median(std::move(v));
+  };
+  FftStats m;
+  m.wall_s = field([](const FftStats& s) { return s.wall_s; });
+  m.exchange_s = field([](const FftStats& s) { return s.exchange_s; });
+  m.pack_s = field([](const FftStats& s) { return s.pack_s; });
+  m.recv_wait_us = static_cast<std::uint64_t>(
+      field([](const FftStats& s) { return static_cast<double>(s.recv_wait_us); }));
+  m.overlapped = static_cast<std::uint64_t>(
+      field([](const FftStats& s) { return static_cast<double>(s.overlapped); }));
+  m.payload_reuse = static_cast<std::uint64_t>(field(
+      [](const FftStats& s) { return static_cast<double>(s.payload_reuse); }));
+  m.crc = runs.front().crc;
+  return m;
+}
+
+double span_total(const char* name) {
+  for (const auto& st : obs::Tracer::instance().summary())
+    if (st.name == name) return st.total_s;
+  return 0.0;
+}
+
+double item_work(std::size_t i) {
+  double acc = 0.0;
+  for (int k = 1; k <= 12; ++k)
+    acc += std::sqrt(static_cast<double>(i % 1024 + static_cast<std::size_t>(k)));
+  return acc;
+}
+
+/// kReps forward+inverse transforms at P=kRanks with the given exchange
+/// mode/backend; optionally with analysis driver threads loading the shared
+/// pool throughout. The CRC folds every rank's k-space slab of the final
+/// forward transform (XOR is order-independent, so SPMD rank interleaving
+/// cannot perturb it).
+FftStats run_scenario(ExchangeMode mode, dpp::Backend be,
+                      bool concurrent_analysis) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  const double exchange_before = span_total("fft.exchange");
+  const double pack_before = span_total("fft.pack");
+
+  std::atomic<bool> stop{false};
+  std::atomic<double> sink{0.0};
+  std::vector<std::thread> drivers;
+  if (concurrent_analysis) {
+    for (int d = 0; d < kAnalysisDrivers; ++d)
+      drivers.emplace_back([&] {
+        std::vector<double> out(1 << 14);
+        while (!stop.load(std::memory_order_relaxed)) {
+          dpp::ThreadPool::instance().parallel_for(
+              out.size(), [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) out[i] = item_work(i);
+              });
+          sink.store(out[out.size() / 2], std::memory_order_relaxed);
+        }
+      });
+  }
+
+  FftStats s;
+  std::atomic<std::uint32_t> crc_acc{0};
+  WallTimer wall;
+  comm::run_spmd(kRanks, [&](comm::Comm& c) {
+    fft::DistributedFft dfft(c, kGrid);
+    dfft.set_exchange_mode(mode);
+    dfft.set_backend(be);
+    Rng rng(20151115 + static_cast<std::uint64_t>(c.rank()));
+    std::vector<fft::Complex> init(dfft.local_size());
+    for (auto& v : init) v = fft::Complex(rng.normal(), rng.normal());
+    std::vector<fft::Complex> slab;
+    for (int r = 0; r < kReps; ++r) {
+      slab = init;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          kSkewMs * c.rank()));  // imbalanced upstream compute stand-in
+      dfft.forward(slab);
+      if (r == kReps - 1)
+        crc_acc.fetch_xor(
+            crc32(slab.data(), slab.size() * sizeof(fft::Complex)),
+            std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          kSkewMs * (kRanks - 1 - c.rank())));  // reversed skew going back
+      dfft.inverse(slab);
+    }
+    // No trailing barrier: run_spmd joins the rank threads, and a barrier
+    // here would charge rank-skew waits to comm.recv_wait_us, polluting the
+    // FFT-phase wait measurement the scenarios compare.
+  });
+  s.wall_s = wall.seconds();
+
+  stop.store(true);
+  for (auto& t : drivers) t.join();
+
+  s.crc = crc_acc.load();
+  s.exchange_s = span_total("fft.exchange") - exchange_before;
+  s.pack_s = span_total("fft.pack") - pack_before;
+  if (reg.has_counter("comm.recv_wait_us"))
+    s.recv_wait_us = reg.counter("comm.recv_wait_us").total();
+  if (reg.has_counter("comm.a2a_blocks_overlapped"))
+    s.overlapped = reg.counter("comm.a2a_blocks_overlapped").total();
+  if (reg.has_counter("comm.payload_reuse"))
+    s.payload_reuse = reg.counter("comm.payload_reuse").total();
+  return s;
+}
+
+struct IsoStats {
+  std::uint64_t recv_wait_us = 0;
+  std::uint64_t overlapped = 0;
+};
+
+/// kIsoTransposes rounds of the transpose's exchange pattern — identical
+/// block sizes and traffic to the real FFT at kGrid/kRanks — with parked
+/// sleeps standing in for pack compute and upstream imbalance (see the
+/// comment at kIsoTransposes for why this isolates exchange structure).
+IsoStats run_isolation(ExchangeMode mode) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.reset();
+  const std::size_t nslab = kGrid / kRanks;
+  const std::size_t block = nslab * nslab * kGrid;  // elements per block
+  comm::run_spmd(kRanks, [&](comm::Comm& c) {
+    std::vector<fft::Complex> scratch(block,
+                                      fft::Complex(1.0 + c.rank(), 0.0));
+    std::vector<fft::Complex> sendbuf(block * kRanks,
+                                      fft::Complex(1.0 + c.rank(), 0.0));
+    const std::vector<std::size_t> counts(kRanks, block);
+    for (int t = 0; t < kIsoTransposes; ++t) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kIsoSkewMs * c.rank()));
+      if (mode == ExchangeMode::Pipelined) {
+        comm::AlltoallvFlatSession<fft::Complex> session(c, counts);
+        for (int step = 1; step <= kRanks; ++step) {
+          const int d = (c.rank() + step) % kRanks;
+          std::this_thread::sleep_for(std::chrono::milliseconds(kIsoPackMs));
+          session.post_block(d, std::span<const fft::Complex>(scratch));
+          session.prefetch();
+        }
+        session.finish([](int, std::span<const fft::Complex>) {});
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kIsoPackMs * kRanks));
+        auto recv = c.alltoallv_flat<fft::Complex>(
+            std::span<const fft::Complex>(sendbuf), counts, counts);
+        (void)recv;
+      }
+    }
+  });
+  IsoStats s;
+  if (reg.has_counter("comm.recv_wait_us"))
+    s.recv_wait_us = reg.counter("comm.recv_wait_us").total();
+  if (reg.has_counter("comm.a2a_blocks_overlapped"))
+    s.overlapped = reg.counter("comm.a2a_blocks_overlapped").total();
+  return s;
+}
+
+void json_scenario(std::ofstream& j, const char* name, const FftStats& s,
+                   bool last) {
+  j << "    {\"scenario\": \"" << name << "\", \"wall_s\": " << s.wall_s
+    << ", \"exchange_s_total\": " << s.exchange_s
+    << ", \"pack_s_total\": " << s.pack_s
+    << ", \"recv_wait_us\": " << s.recv_wait_us
+    << ", \"blocks_overlapped\": " << s.overlapped
+    << ", \"payload_reuse\": " << s.payload_reuse << "}"
+    << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_common::ObsSession obs_session(argc, argv);
+  bench_common::print_header(
+      "Ablation — batched vs pipelined distributed-FFT transpose",
+      "the PM solve's comm phase under co-scheduling (SC'15 section 4)");
+
+  const auto batched = run_scenario(ExchangeMode::Batched,
+                                    dpp::Backend::Serial, false);
+  const auto piped = run_scenario(ExchangeMode::Pipelined,
+                                  dpp::Backend::Serial, false);
+  const auto batched_tp = run_scenario(ExchangeMode::Batched,
+                                       dpp::Backend::ThreadPool, false);
+  const auto piped_tp = run_scenario(ExchangeMode::Pipelined,
+                                     dpp::Backend::ThreadPool, false);
+  std::vector<FftStats> batched_co_runs, piped_co_runs;
+  for (int p = 0; p < kCoPairs; ++p) {
+    batched_co_runs.push_back(
+        run_scenario(ExchangeMode::Batched, dpp::Backend::ThreadPool, true));
+    piped_co_runs.push_back(
+        run_scenario(ExchangeMode::Pipelined, dpp::Backend::ThreadPool, true));
+  }
+  const auto batched_co = median_stats(batched_co_runs);
+  const auto piped_co = median_stats(piped_co_runs);
+
+  bool bit_identical = batched.crc == piped.crc &&
+                       batched.crc == batched_tp.crc &&
+                       batched.crc == piped_tp.crc;
+  for (const auto& r : batched_co_runs) bit_identical &= batched.crc == r.crc;
+  for (const auto& r : piped_co_runs) bit_identical &= batched.crc == r.crc;
+
+  const auto iso_batched = run_isolation(ExchangeMode::Batched);
+  const auto iso_piped = run_isolation(ExchangeMode::Pipelined);
+  const bool wait_reduced = iso_piped.recv_wait_us < iso_batched.recv_wait_us;
+
+  TextTable t({"scenario", "wall (s)", "recv wait (ms)", "overlapped",
+               "exchange (s)", "reuse"});
+  auto add = [&](const char* name, const FftStats& s) {
+    t.add_row({name, TextTable::num(s.wall_s, 3),
+               TextTable::num(static_cast<double>(s.recv_wait_us) / 1e3, 2),
+               std::to_string(s.overlapped), TextTable::num(s.exchange_s, 3),
+               std::to_string(s.payload_reuse)});
+  };
+  add("batched serial (baseline)", batched);
+  add("pipelined serial", piped);
+  add("batched pooled", batched_tp);
+  add("pipelined pooled", piped_tp);
+  add("batched pooled + analysis*", batched_co);
+  add("pipelined pooled + analysis*", piped_co);
+  t.print(std::cout);
+  std::printf(
+      "grid %zu^3 across %d ranks, %d forward+inverse pairs per scenario; "
+      "%d analysis drivers in the co-scheduled scenarios\n"
+      "(* = median over %d interleaved batched/pipelined pairs)\n"
+      "k-space bit-identical across all scenarios and repeats: %s "
+      "(crc32 %08x)\n"
+      "exchange isolation (%d transposes, parked pack stand-ins): "
+      "batched %.2f ms, pipelined %.2f ms (%lu blocks overlapped)\n"
+      "pipelined reduces recv_wait vs batched (exchange isolation): %s\n",
+      kGrid, kRanks, kReps, kAnalysisDrivers, kCoPairs,
+      bit_identical ? "YES" : "NO — determinism contract violated",
+      batched.crc, kIsoTransposes,
+      static_cast<double>(iso_batched.recv_wait_us) / 1e3,
+      static_cast<double>(iso_piped.recv_wait_us) / 1e3,
+      static_cast<unsigned long>(iso_piped.overlapped),
+      wait_reduced ? "YES" : "NO");
+
+  {
+    std::ofstream j("BENCH_fft.json", std::ios::trunc);
+    j << "{\n  \"bench\": \"ablation_fft\",\n"
+      << "  \"pool_workers\": " << dpp::ThreadPool::instance().workers()
+      << ",\n  \"host_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"grid\": " << kGrid << ",\n  \"ranks\": " << kRanks
+      << ",\n  \"fft_pairs_per_scenario\": " << kReps
+      << ",\n  \"analysis_drivers\": " << kAnalysisDrivers
+      << ",\n  \"co_scheduled_pairs\": " << kCoPairs
+      << ",\n  \"exchange_isolation\": {\"transposes\": " << kIsoTransposes
+      << ", \"pack_ms\": " << kIsoPackMs << ", \"skew_ms\": " << kIsoSkewMs
+      << ", \"batched_recv_wait_us\": " << iso_batched.recv_wait_us
+      << ", \"pipelined_recv_wait_us\": " << iso_piped.recv_wait_us
+      << ", \"pipelined_blocks_overlapped\": " << iso_piped.overlapped << "}"
+      << ",\n  \"kspace_bit_identical\": " << (bit_identical ? "true" : "false")
+      << ",\n  \"kspace_crc32\": \"" << std::hex << batched.crc << std::dec
+      << "\",\n  \"recv_wait_reduced_at_p4\": "
+      << (wait_reduced ? "true" : "false") << ",\n"
+      << "  \"scenarios\": [\n";
+    json_scenario(j, "batched_serial", batched, false);
+    json_scenario(j, "pipelined_serial", piped, false);
+    json_scenario(j, "batched_threadpool", batched_tp, false);
+    json_scenario(j, "pipelined_threadpool", piped_tp, false);
+    json_scenario(j, "batched_concurrent_analysis_median", batched_co, false);
+    json_scenario(j, "pipelined_concurrent_analysis_median", piped_co, true);
+    j << "  ]\n}\n";
+    if (j.good()) std::printf("wrote BENCH_fft.json\n");
+  }
+  return !(bit_identical && wait_reduced);
+}

@@ -11,8 +11,11 @@
 #   scripts/verify.sh --tsan   ThreadSanitizer pass over the concurrency
 #                              layer: builds test_dpp (scheduler + the
 #                              concurrent-dispatch/nesting/stealing stress
-#                              tests) with -DCOSMO_TSAN=ON in build-tsan/
-#                              and fails on any reported race.
+#                              tests), test_comm (mailbox + incremental
+#                              all-to-all sessions + payload pool), and
+#                              test_fft (pipelined transpose: concurrent
+#                              pack/exchange/unpack) with -DCOSMO_TSAN=ON
+#                              in build-tsan/ and fails on any reported race.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,11 +24,13 @@ jobs="${JOBS:-$(nproc)}"
 if [[ "${1:-}" == "--tsan" ]]; then
   build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
   cmake -B "$build_dir" -S "$repo_root" -DCOSMO_TSAN=ON
-  cmake --build "$build_dir" --target test_dpp -j "$jobs"
+  cmake --build "$build_dir" --target test_dpp test_comm test_fft -j "$jobs"
   # TSAN_OPTIONS: any race is fatal (non-zero exit), second_deadlock_stack
   # makes lock-order reports actionable.
-  TSAN_OPTIONS="halt_on_error=0 exitcode=66 second_deadlock_stack=1" \
-    "$build_dir/tests/test_dpp"
+  for t in test_dpp test_comm test_fft; do
+    TSAN_OPTIONS="halt_on_error=0 exitcode=66 second_deadlock_stack=1" \
+      "$build_dir/tests/$t"
+  done
   echo "TSan pass clean."
   exit 0
 fi

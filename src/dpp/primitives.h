@@ -113,6 +113,15 @@ void for_each_index(Backend b, std::size_t n, Fn fn, std::size_t grain = 0) {
       grain);
 }
 
+/// Calls fn(lo, hi) on disjoint subranges covering [0, n) — the chunked form
+/// of for_each_index, for kernels that amortize per-chunk scratch (the
+/// strided FFT row transforms carry one scratch buffer per chunk instead of
+/// one per item). fn must be safe to run concurrently on disjoint ranges.
+template <typename Fn>
+void for_each_chunk(Backend b, std::size_t n, Fn fn, std::size_t grain = 0) {
+  detail::for_each_range(b, n, fn, grain);
+}
+
 /// Reduction of fn(i) over [0, n) with an associative op. Partial results
 /// are combined in block order, so the parallel result is deterministic
 /// (and equals Serial whenever op is exactly associative).

@@ -9,6 +9,21 @@
 // Layouts (n = global grid size, P = ranks, nzl = n/P, nyl = n/P):
 //   real space slab:  index = (z_local*n + y)*n + x        (x fastest)
 //   k space slab:     index = (ky_local*n + kx)*n + kz     (kz fastest)
+//
+// Execution: the per-pencil 1-D row transforms and the transpose pack/unpack
+// copy loops dispatch on the dpp pool (set_backend), and the transposes
+// themselves come in two exchange modes:
+//   * Batched   — pack all P pencil blocks into one contiguous buffer, ship
+//     it with a single alltoallv_flat, then unpack. One collective, but
+//     pack → exchange → unpack run strictly sequentially per rank.
+//   * Pipelined — post each destination block through an incremental
+//     AlltoallvFlatSession the moment it finishes packing, and unpack each
+//     source block as it arrives (non-blocking poll between packs, blocking
+//     finish after the last). Receives that landed during packing never show
+//     up in comm.recv_wait_us — the overlap hides most of the exchange.
+// Both modes and both backends produce bit-identical output: every unpack
+// writes a source-addressed disjoint region, every row transform owns its
+// row, and block boundaries never depend on scheduling.
 #pragma once
 
 #include <complex>
@@ -16,13 +31,20 @@
 #include <vector>
 
 #include "comm/comm.h"
+#include "dpp/primitives.h"
 #include "fft/fft.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace cosmo::fft {
 
 class DistributedFft {
  public:
+  enum class ExchangeMode {
+    Batched,    ///< one alltoallv_flat per transpose (the pre-pipeline path)
+    Pipelined,  ///< incremental session: pack/exchange/unpack overlap
+  };
+
   DistributedFft(comm::Comm& comm, std::size_t n)
       : comm_(&comm), n_(n), nslab_(n / static_cast<std::size_t>(comm.size())) {
     COSMO_REQUIRE(is_pow2(n), "grid size must be a power of two");
@@ -39,43 +61,108 @@ class DistributedFft {
   }
   std::size_t local_size() const { return nslab_ * n_ * n_; }
 
+  /// Execution backend for the per-pencil 1-D transforms and the transpose
+  /// pack/unpack copy loops. Output is bit-identical across backends.
+  void set_backend(dpp::Backend b) { backend_ = b; }
+  dpp::Backend backend() const { return backend_; }
+
+  /// Transpose exchange strategy; output is bit-identical across modes.
+  void set_exchange_mode(ExchangeMode m) { mode_ = m; }
+  ExchangeMode exchange_mode() const { return mode_; }
+
+  /// Rows per scheduler chunk for the 1-D row transforms (0 = auto).
+  void set_row_grain(std::size_t g) { row_grain_ = g; }
+  std::size_t row_grain() const { return row_grain_; }
+
+  /// (y_local, x) pencils per chunk for the pack/unpack loops (0 = auto).
+  void set_copy_grain(std::size_t g) { copy_grain_ = g; }
+  std::size_t copy_grain() const { return copy_grain_; }
+
   /// Forward transform. `slab` holds the rank's real-space z-slab on entry
   /// and its transposed k-space ky-slab on return. Unnormalized.
   void forward(std::vector<Complex>& slab) {
     check_size(slab);
-    std::vector<Complex> scratch;
-    // x and y transforms within each local z-plane.
-    for (std::size_t zl = 0; zl < nslab_; ++zl) {
-      Complex* plane = slab.data() + zl * n_ * n_;
-      for (std::size_t y = 0; y < n_; ++y)
-        fft_1d(std::span<Complex>(plane + y * n_, n_), /*inverse=*/false);
-      for (std::size_t x = 0; x < n_; ++x)
-        fft_1d_strided(plane + x, n_, n_, /*inverse=*/false, scratch);
+    {
+      COSMO_TRACE_SPAN_CAT("fft.rows", "fft");
+      // x and y transforms within each local z-plane: (zl, y) rows are
+      // contiguous runs of n; (zl, x) pencils are strided by n.
+      dpp::for_each_index(
+          backend_, nslab_ * n_,
+          [&](std::size_t t) {
+            fft_1d(std::span<Complex>(slab.data() + t * n_, n_),
+                   /*inverse=*/false);
+          },
+          row_grain_);
+      dpp::for_each_chunk(
+          backend_, nslab_ * n_,
+          [&](std::size_t lo, std::size_t hi) {
+            std::vector<Complex> scratch;
+            for (std::size_t t = lo; t < hi; ++t) {
+              Complex* plane = slab.data() + (t / n_) * n_ * n_;
+              fft_1d_strided(plane + t % n_, n_, n_, /*inverse=*/false,
+                             scratch);
+            }
+          },
+          row_grain_);
     }
     transpose_z_to_y(slab);
-    // z transform: contiguous runs of length n in the transposed layout.
-    for (std::size_t row = 0; row < nslab_ * n_; ++row)
-      fft_1d(std::span<Complex>(slab.data() + row * n_, n_), /*inverse=*/false);
+    {
+      COSMO_TRACE_SPAN_CAT("fft.rows", "fft");
+      // z transform: contiguous runs of length n in the transposed layout.
+      dpp::for_each_index(
+          backend_, nslab_ * n_,
+          [&](std::size_t row) {
+            fft_1d(std::span<Complex>(slab.data() + row * n_, n_),
+                   /*inverse=*/false);
+          },
+          row_grain_);
+    }
   }
 
   /// Inverse transform (accepts the transposed k-space slab, returns the
   /// real-space z-slab) including the 1/n³ normalization.
   void inverse(std::vector<Complex>& slab) {
     check_size(slab);
-    std::vector<Complex> scratch;
-    for (std::size_t row = 0; row < nslab_ * n_; ++row)
-      fft_1d(std::span<Complex>(slab.data() + row * n_, n_), /*inverse=*/true);
+    {
+      COSMO_TRACE_SPAN_CAT("fft.rows", "fft");
+      dpp::for_each_index(
+          backend_, nslab_ * n_,
+          [&](std::size_t row) {
+            fft_1d(std::span<Complex>(slab.data() + row * n_, n_),
+                   /*inverse=*/true);
+          },
+          row_grain_);
+    }
     transpose_y_to_z(slab);
-    for (std::size_t zl = 0; zl < nslab_; ++zl) {
-      Complex* plane = slab.data() + zl * n_ * n_;
-      for (std::size_t x = 0; x < n_; ++x)
-        fft_1d_strided(plane + x, n_, n_, /*inverse=*/true, scratch);
-      for (std::size_t y = 0; y < n_; ++y)
-        fft_1d(std::span<Complex>(plane + y * n_, n_), /*inverse=*/true);
+    {
+      COSMO_TRACE_SPAN_CAT("fft.rows", "fft");
+      dpp::for_each_chunk(
+          backend_, nslab_ * n_,
+          [&](std::size_t lo, std::size_t hi) {
+            std::vector<Complex> scratch;
+            for (std::size_t t = lo; t < hi; ++t) {
+              Complex* plane = slab.data() + (t / n_) * n_ * n_;
+              fft_1d_strided(plane + t % n_, n_, n_, /*inverse=*/true, scratch);
+            }
+          },
+          row_grain_);
+      dpp::for_each_index(
+          backend_, nslab_ * n_,
+          [&](std::size_t t) {
+            fft_1d(std::span<Complex>(slab.data() + t * n_, n_),
+                   /*inverse=*/true);
+          },
+          row_grain_);
     }
     const double scale = 1.0 / (static_cast<double>(n_) * static_cast<double>(n_) *
                                 static_cast<double>(n_));
-    for (auto& v : slab) v *= scale;
+    dpp::for_each_index(
+        backend_, nslab_ * n_,
+        [&](std::size_t row) {
+          Complex* r = slab.data() + row * n_;
+          for (std::size_t i = 0; i < n_; ++i) r[i] *= scale;
+        },
+        row_grain_);
   }
 
  private:
@@ -85,81 +172,191 @@ class DistributedFft {
 
   /// Elements each rank exchanges with each peer: every peer owns an equal
   /// slab, so all counts equal nslab²·n. One flat count vector serves as
-  /// both send and recv counts for the batched alltoallv_flat.
+  /// both send and recv counts for either exchange path.
   std::vector<std::size_t> uniform_counts() const {
     return std::vector<std::size_t>(static_cast<std::size_t>(comm_->size()),
                                     nslab_ * n_ * nslab_);
   }
 
+  // ---- pack/unpack kernels -----------------------------------------------
+  // Both transposes move pencil blocks of nslab²·n elements laid out in
+  // (y_local, x, z_local) order with z_local fastest, so one side of every
+  // copy is a contiguous run of nslab. The loops dispatch one item per
+  // (y_local, x) pencil on the dpp pool; items touch disjoint pencils, so
+  // any schedule produces the same bytes.
+
+  /// z→y pack: gather the columns destined for rank d (y in d's ky-slab).
+  void pack_z_to_y(const std::vector<Complex>& slab, int d,
+                   Complex* buf) const {
+    const std::size_t y0 = static_cast<std::size_t>(d) * nslab_;
+    dpp::for_each_index(
+        backend_, nslab_ * n_,
+        [&](std::size_t t) {
+          const std::size_t yl = t / n_;
+          const std::size_t x = t % n_;
+          Complex* dst = buf + t * nslab_;
+          for (std::size_t zl = 0; zl < nslab_; ++zl)
+            dst[zl] = slab[(zl * n_ + (y0 + yl)) * n_ + x];
+        },
+        copy_grain_);
+  }
+
+  /// z→y unpack of source s's block into the k-space layout: s owned the
+  /// z-planes [s·nslab, (s+1)·nslab), which are contiguous kz runs here.
+  void unpack_z_to_y(const Complex* buf, int s, Complex* out) const {
+    const std::size_t z0 = static_cast<std::size_t>(s) * nslab_;
+    dpp::for_each_index(
+        backend_, nslab_ * n_,
+        [&](std::size_t t) {
+          const std::size_t yl = t / n_;
+          const std::size_t x = t % n_;
+          const Complex* src = buf + t * nslab_;
+          Complex* dst = out + (yl * n_ + x) * n_ + z0;
+          for (std::size_t zl = 0; zl < nslab_; ++zl) dst[zl] = src[zl];
+        },
+        copy_grain_);
+  }
+
+  /// y→z pack: mirror of unpack_z_to_y (contiguous kz runs out of the slab).
+  void pack_y_to_z(const std::vector<Complex>& slab, int d,
+                   Complex* buf) const {
+    const std::size_t z0 = static_cast<std::size_t>(d) * nslab_;
+    dpp::for_each_index(
+        backend_, nslab_ * n_,
+        [&](std::size_t t) {
+          const std::size_t yl = t / n_;
+          const std::size_t x = t % n_;
+          const Complex* src = slab.data() + (yl * n_ + x) * n_ + z0;
+          Complex* dst = buf + t * nslab_;
+          for (std::size_t zl = 0; zl < nslab_; ++zl) dst[zl] = src[zl];
+        },
+        copy_grain_);
+  }
+
+  /// y→z unpack: mirror of pack_z_to_y (scatter back into z-plane layout).
+  void unpack_y_to_z(const Complex* buf, int s, Complex* out) const {
+    const std::size_t y0 = static_cast<std::size_t>(s) * nslab_;
+    dpp::for_each_index(
+        backend_, nslab_ * n_,
+        [&](std::size_t t) {
+          const std::size_t yl = t / n_;
+          const std::size_t x = t % n_;
+          const Complex* src = buf + t * nslab_;
+          for (std::size_t zl = 0; zl < nslab_; ++zl)
+            out[(zl * n_ + (y0 + yl)) * n_ + x] = src[zl];
+        },
+        copy_grain_);
+  }
+
+  // ---- transposes --------------------------------------------------------
+
   // Redistribute from z-slabs (x fastest) to ky-slabs (kz fastest).
   // Element (z, y, x) moves to rank owning y, landing at (y_local, x, z).
-  //
-  // Batched exchange: all P pencil blocks are packed into ONE contiguous
-  // destination-major buffer (displacement of rank d = d·nslab²·n,
-  // precomputed inside alltoallv_flat from the uniform counts) and shipped
-  // in a single flat all-to-all — no per-destination vector allocations and
-  // no per-source payload-to-vector copy on receive.
   void transpose_z_to_y(std::vector<Complex>& slab) {
+    if (mode_ == ExchangeMode::Batched)
+      transpose_batched(slab, /*z_to_y=*/true);
+    else
+      transpose_pipelined(slab, /*z_to_y=*/true);
+  }
+
+  // Exact inverse of transpose_z_to_y (same exchange machinery).
+  void transpose_y_to_z(std::vector<Complex>& slab) {
+    if (mode_ == ExchangeMode::Batched)
+      transpose_batched(slab, /*z_to_y=*/false);
+    else
+      transpose_pipelined(slab, /*z_to_y=*/false);
+  }
+
+  /// Batched exchange: all P pencil blocks packed into ONE contiguous
+  /// destination-major buffer (displacement of rank d = d·nslab²·n) and
+  /// shipped in a single flat all-to-all — no per-destination vector
+  /// allocations and no per-source payload-to-vector copy on receive.
+  void transpose_batched(std::vector<Complex>& slab, bool z_to_y) {
     const int P = comm_->size();
     const std::size_t block = nslab_ * n_ * nslab_;
     std::vector<Complex> packed(local_size());
-    for (int d = 0; d < P; ++d) {
-      Complex* buf = packed.data() + static_cast<std::size_t>(d) * block;
-      const std::size_t y0 = static_cast<std::size_t>(d) * nslab_;
-      // Sender writes in (y_local, x, z_local) order, z_local fastest, so
-      // the receiver can block-copy runs of z.
-      std::size_t idx = 0;
-      for (std::size_t yl = 0; yl < nslab_; ++yl)
-        for (std::size_t x = 0; x < n_; ++x)
-          for (std::size_t zl = 0; zl < nslab_; ++zl)
-            buf[idx++] = slab[(zl * n_ + (y0 + yl)) * n_ + x];
+    {
+      COSMO_TRACE_SPAN_CAT("fft.pack", "fft");
+      for (int d = 0; d < P; ++d) {
+        Complex* buf = packed.data() + static_cast<std::size_t>(d) * block;
+        if (z_to_y)
+          pack_z_to_y(slab, d, buf);
+        else
+          pack_y_to_z(slab, d, buf);
+      }
     }
     const auto counts = uniform_counts();
-    const auto recv = comm_->alltoallv_flat<Complex>(packed, counts, counts);
-    for (int s = 0; s < P; ++s) {
-      const Complex* buf = recv.data() + static_cast<std::size_t>(s) * block;
-      const std::size_t z0 = static_cast<std::size_t>(s) * nslab_;
-      std::size_t idx = 0;
-      for (std::size_t yl = 0; yl < nslab_; ++yl)
-        for (std::size_t x = 0; x < n_; ++x) {
-          Complex* dst = slab.data() + (yl * n_ + x) * n_ + z0;
-          for (std::size_t zl = 0; zl < nslab_; ++zl) dst[zl] = buf[idx++];
-        }
+    std::vector<Complex> recv;
+    {
+      COSMO_TRACE_SPAN_CAT("fft.exchange", "fft");
+      recv = comm_->alltoallv_flat<Complex>(packed, counts, counts);
+    }
+    {
+      COSMO_TRACE_SPAN_CAT("fft.unpack", "fft");
+      for (int s = 0; s < P; ++s) {
+        const Complex* buf = recv.data() + static_cast<std::size_t>(s) * block;
+        if (z_to_y)
+          unpack_z_to_y(buf, s, slab.data());
+        else
+          unpack_y_to_z(buf, s, slab.data());
+      }
     }
   }
 
-  // Exact inverse of transpose_z_to_y (same batched single-buffer exchange).
-  void transpose_y_to_z(std::vector<Complex>& slab) {
+  /// Pipelined exchange: one block-sized pack scratch, reused per
+  /// destination (post_block copies into the message payload immediately);
+  /// arrived source blocks are drained out of the mailbox between packs
+  /// (prefetch: payload moves only, so this rank's remaining posts are
+  /// never delayed behind unpack compute) and unpacked in arrival order by
+  /// finish, where the unpack of early blocks overlaps the wait for
+  /// stragglers. Unpacks target `out` rather than `slab` because later
+  /// packs still read `slab`. Every unpack writes a source-addressed
+  /// disjoint region of `out`, so arrival order cannot change the result.
+  void transpose_pipelined(std::vector<Complex>& slab, bool z_to_y) {
     const int P = comm_->size();
+    const int rank = comm_->rank();
     const std::size_t block = nslab_ * n_ * nslab_;
-    std::vector<Complex> packed(local_size());
-    for (int d = 0; d < P; ++d) {
-      Complex* buf = packed.data() + static_cast<std::size_t>(d) * block;
-      const std::size_t z0 = static_cast<std::size_t>(d) * nslab_;
-      // Mirror ordering: (y_local, x, z_local) with z_local fastest.
-      std::size_t idx = 0;
-      for (std::size_t yl = 0; yl < nslab_; ++yl)
-        for (std::size_t x = 0; x < n_; ++x) {
-          const Complex* src = slab.data() + (yl * n_ + x) * n_ + z0;
-          for (std::size_t zl = 0; zl < nslab_; ++zl) buf[idx++] = src[zl];
-        }
-    }
     const auto counts = uniform_counts();
-    const auto recv = comm_->alltoallv_flat<Complex>(packed, counts, counts);
-    for (int s = 0; s < P; ++s) {
-      const Complex* buf = recv.data() + static_cast<std::size_t>(s) * block;
-      const std::size_t y0 = static_cast<std::size_t>(s) * nslab_;
-      std::size_t idx = 0;
-      for (std::size_t yl = 0; yl < nslab_; ++yl)
-        for (std::size_t x = 0; x < n_; ++x)
-          for (std::size_t zl = 0; zl < nslab_; ++zl)
-            slab[(zl * n_ + (y0 + yl)) * n_ + x] = buf[idx++];
+    std::vector<Complex> out(local_size());
+    std::vector<Complex> scratch(block);
+    comm::AlltoallvFlatSession<Complex> session(*comm_, counts);
+    auto unpack = [&](int s, std::span<const Complex> buf) {
+      COSMO_TRACE_SPAN_CAT("fft.unpack", "fft");
+      COSMO_REQUIRE(buf.size() == block, "transpose block size mismatch");
+      if (z_to_y)
+        unpack_z_to_y(buf.data(), s, out.data());
+      else
+        unpack_y_to_z(buf.data(), s, out.data());
+    };
+    // Stagger destinations (self last): every peer starts receiving its
+    // block up to P−1 pack-times earlier than the batched path would send
+    // it, and blocks that land meanwhile are unpacked before the next pack.
+    for (int step = 1; step <= P; ++step) {
+      const int d = (rank + step) % P;
+      {
+        COSMO_TRACE_SPAN_CAT("fft.pack", "fft");
+        if (z_to_y)
+          pack_z_to_y(slab, d, scratch.data());
+        else
+          pack_y_to_z(slab, d, scratch.data());
+      }
+      session.post_block(d, std::span<const Complex>(scratch));
+      session.prefetch();
     }
+    {
+      COSMO_TRACE_SPAN_CAT("fft.exchange", "fft");
+      session.finish(unpack);
+    }
+    slab.swap(out);
   }
 
   comm::Comm* comm_;
   std::size_t n_;
   std::size_t nslab_;
+  dpp::Backend backend_ = dpp::Backend::Serial;
+  ExchangeMode mode_ = ExchangeMode::Pipelined;
+  std::size_t row_grain_ = 0;
+  std::size_t copy_grain_ = 0;
 };
 
 }  // namespace cosmo::fft

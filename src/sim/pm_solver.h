@@ -98,8 +98,21 @@ class PmSolver {
   /// co-scheduled analysis ranks — the work-stealing scheduler interleaves
   /// dispatches; results are bit-identical to Serial either way (the
   /// deposit goes through dpp::deposit_reduce's fixed block-order merge).
-  void set_backend(dpp::Backend b) { backend_ = b; }
+  void set_backend(dpp::Backend b) {
+    backend_ = b;
+    fft_.set_backend(b);  // the FFT's row transforms + pack/unpack follow
+  }
   dpp::Backend backend() const { return backend_; }
+
+  /// Transpose exchange strategy for the solver's distributed FFT
+  /// (pipelined overlaps pack with the all-to-all; batched is the
+  /// reference path). The potential field is bit-identical either way.
+  void set_fft_exchange_mode(fft::DistributedFft::ExchangeMode m) {
+    fft_.set_exchange_mode(m);
+  }
+  fft::DistributedFft::ExchangeMode fft_exchange_mode() const {
+    return fft_.exchange_mode();
+  }
 
   /// Deposit chunk size in particles (0 = auto). The δ field is
   /// backend-invariant for any fixed grain; different grains change the

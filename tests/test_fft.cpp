@@ -2,12 +2,15 @@
 // Parseval's theorem, and distributed-vs-local equivalence.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <complex>
 #include <numbers>
+#include <thread>
 #include <vector>
 
 #include "comm/comm.h"
+#include "dpp/primitives.h"
 #include "fft/distributed_fft.h"
 #include "fft/fft.h"
 #include "util/rng.h"
@@ -199,6 +202,124 @@ TEST_P(DistFft, RoundTripRecoversSlab) {
       ASSERT_NEAR(slab[i].real(), orig[i].real(), 1e-9);
       ASSERT_NEAR(slab[i].imag(), orig[i].imag(), 1e-9);
     }
+  });
+}
+
+// Runs forward+inverse with the given exchange mode / backend / grains and
+// returns the k-space slab and round-tripped slab for rank `rank`, starting
+// from a deterministic per-rank field. Used to cross-check every variant
+// against the batched Serial reference bit for bit.
+struct FftVariantResult {
+  std::vector<Complex> kspace;
+  std::vector<Complex> roundtrip;
+};
+
+std::vector<FftVariantResult> run_fft_variant(
+    int P, std::size_t n, fft::DistributedFft::ExchangeMode mode,
+    dpp::Backend backend, std::size_t row_grain = 0,
+    std::size_t copy_grain = 0, bool stagger = false) {
+  std::vector<FftVariantResult> results(static_cast<std::size_t>(P));
+  comm::run_spmd(P, [&](comm::Comm& c) {
+    if (stagger)  // adversarial: ranks enter the transpose far apart
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(3 * (P - 1 - c.rank())));
+    fft::DistributedFft dfft(c, n);
+    dfft.set_exchange_mode(mode);
+    dfft.set_backend(backend);
+    dfft.set_row_grain(row_grain);
+    dfft.set_copy_grain(copy_grain);
+    Rng rng(7000 + static_cast<std::uint64_t>(c.rank()));
+    std::vector<Complex> slab(dfft.local_size());
+    for (auto& v : slab) v = Complex(rng.normal(), rng.normal());
+    dfft.forward(slab);
+    auto& res = results[static_cast<std::size_t>(c.rank())];
+    res.kspace = slab;
+    dfft.inverse(slab);
+    res.roundtrip = slab;
+  });
+  return results;
+}
+
+void expect_bit_identical(const std::vector<FftVariantResult>& a,
+                          const std::vector<FftVariantResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].kspace.size(), b[r].kspace.size());
+    for (std::size_t i = 0; i < a[r].kspace.size(); ++i) {
+      // Exact double equality: the pipelined exchange and the pool backends
+      // must not perturb a single bit of the spectrum.
+      ASSERT_EQ(a[r].kspace[i].real(), b[r].kspace[i].real())
+          << "kspace rank " << r << " index " << i;
+      ASSERT_EQ(a[r].kspace[i].imag(), b[r].kspace[i].imag())
+          << "kspace rank " << r << " index " << i;
+    }
+    ASSERT_EQ(a[r].roundtrip.size(), b[r].roundtrip.size());
+    for (std::size_t i = 0; i < a[r].roundtrip.size(); ++i) {
+      ASSERT_EQ(a[r].roundtrip[i].real(), b[r].roundtrip[i].real())
+          << "roundtrip rank " << r << " index " << i;
+      ASSERT_EQ(a[r].roundtrip[i].imag(), b[r].roundtrip[i].imag())
+          << "roundtrip rank " << r << " index " << i;
+    }
+  }
+}
+
+using ExchangeMode = fft::DistributedFft::ExchangeMode;
+
+TEST_P(DistFft, PipelinedMatchesBatchedBitExact) {
+  const int P = GetParam();
+  const std::size_t n = 16;
+  const auto ref = run_fft_variant(P, n, ExchangeMode::Batched,
+                                   dpp::Backend::Serial);
+  expect_bit_identical(
+      ref, run_fft_variant(P, n, ExchangeMode::Pipelined,
+                           dpp::Backend::Serial));
+  expect_bit_identical(
+      ref, run_fft_variant(P, n, ExchangeMode::Batched,
+                           dpp::Backend::ThreadPool));
+  expect_bit_identical(
+      ref, run_fft_variant(P, n, ExchangeMode::Pipelined,
+                           dpp::Backend::ThreadPool));
+}
+
+TEST_P(DistFft, SmallGrainsStayBitExact) {
+  const int P = GetParam();
+  const std::size_t n = 8;
+  // Grain 1 maximizes chunk count (every row / pencil its own scheduler
+  // item), stressing out-of-order chunk execution in pack/unpack/rows.
+  const auto ref = run_fft_variant(P, n, ExchangeMode::Batched,
+                                   dpp::Backend::Serial);
+  expect_bit_identical(
+      ref, run_fft_variant(P, n, ExchangeMode::Pipelined,
+                           dpp::Backend::ThreadPool, /*row_grain=*/1,
+                           /*copy_grain=*/1));
+}
+
+TEST_P(DistFft, PipelinedOutOfOrderArrivalBitExact) {
+  const int P = GetParam();
+  if (P < 2) GTEST_SKIP();
+  const std::size_t n = 8;
+  // Rank staggering reverses block arrival order relative to rank order;
+  // the unpacks are source-addressed, so the result must not move.
+  const auto ref = run_fft_variant(P, n, ExchangeMode::Batched,
+                                   dpp::Backend::Serial);
+  expect_bit_identical(
+      ref, run_fft_variant(P, n, ExchangeMode::Pipelined,
+                           dpp::Backend::ThreadPool, 0, 0, /*stagger=*/true));
+}
+
+TEST(DistFftConfig, DefaultsAndSetters) {
+  comm::run_spmd(1, [&](comm::Comm& c) {
+    fft::DistributedFft dfft(c, 8);
+    EXPECT_EQ(dfft.exchange_mode(), ExchangeMode::Pipelined);
+    EXPECT_EQ(dfft.backend(), dpp::Backend::Serial);
+    dfft.set_exchange_mode(ExchangeMode::Batched);
+    dfft.set_backend(dpp::Backend::ThreadPool);
+    dfft.set_row_grain(4);
+    dfft.set_copy_grain(2);
+    EXPECT_EQ(dfft.exchange_mode(), ExchangeMode::Batched);
+    EXPECT_EQ(dfft.backend(), dpp::Backend::ThreadPool);
+    EXPECT_EQ(dfft.row_grain(), 4u);
+    EXPECT_EQ(dfft.copy_grain(), 2u);
   });
 }
 
