@@ -8,14 +8,20 @@
 #
 # Modes:
 #   scripts/verify.sh          full tier-1: configure + build + ctest
+#   scripts/verify.sh --unit   fast lane: build + run only tests labelled
+#                              `unit` (the pure in-process suites; skips the
+#                              integration workflows and the fault soak)
 #   scripts/verify.sh --tsan   ThreadSanitizer pass over the concurrency
 #                              layer: builds test_dpp (scheduler + the
 #                              concurrent-dispatch/nesting/stealing stress
 #                              tests), test_comm (mailbox + incremental
-#                              all-to-all sessions + payload pool), and
-#                              test_fft (pipelined transpose: concurrent
-#                              pack/exchange/unpack) with -DCOSMO_TSAN=ON
-#                              in build-tsan/ and fails on any reported race.
+#                              all-to-all sessions + payload pool), test_fft
+#                              (pipelined transpose: concurrent
+#                              pack/exchange/unpack), and test_faults (fault
+#                              injection on the comm/listener/staging hot
+#                              paths, including the coordinated-abort
+#                              collectives) with -DCOSMO_TSAN=ON in
+#                              build-tsan/ and fails on any reported race.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,10 +30,11 @@ jobs="${JOBS:-$(nproc)}"
 if [[ "${1:-}" == "--tsan" ]]; then
   build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
   cmake -B "$build_dir" -S "$repo_root" -DCOSMO_TSAN=ON
-  cmake --build "$build_dir" --target test_dpp test_comm test_fft -j "$jobs"
+  cmake --build "$build_dir" --target test_dpp test_comm test_fft test_faults \
+    -j "$jobs"
   # TSAN_OPTIONS: any race is fatal (non-zero exit), second_deadlock_stack
   # makes lock-order reports actionable.
-  for t in test_dpp test_comm test_fft; do
+  for t in test_dpp test_comm test_fft test_faults; do
     TSAN_OPTIONS="halt_on_error=0 exitcode=66 second_deadlock_stack=1" \
       "$build_dir/tests/$t"
   done
@@ -38,4 +45,9 @@ fi
 build_dir="${BUILD_DIR:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--unit" ]]; then
+  ctest --test-dir "$build_dir" -L unit --output-on-failure -j "$jobs"
+else
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+fi

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -30,6 +31,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "faults/faults.h"
 #include "obs/obs.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -154,6 +156,10 @@ enum class ReduceOp { Sum, Min, Max };
 /// MPI, a rank issues its communication calls sequentially).
 class Comm {
  public:
+  /// Retransmission budget when a payload delivery is dropped (fault
+  /// injection site "comm.send"; each retry re-checks "comm.redeliver").
+  static constexpr int kMaxRedeliveries = 3;
+
   Comm(World& world, int rank) : world_(&world), rank_(rank) {
     COSMO_REQUIRE(rank >= 0 && rank < world.size(), "rank out of range");
   }
@@ -426,6 +432,30 @@ class Comm {
     COSMO_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
     COSMO_COUNT("comm.msgs_sent", 1);
     COSMO_COUNT("comm.bytes_sent", data.size_bytes());
+    if (COSMO_FAULT_POINT("comm.delay")) {
+      // Congested link: the payload arrives, just late.
+      COSMO_COUNT("comm.delayed_sends", 1);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(COSMO_FAULT_PARAM("comm.delay", 1)));
+    }
+    // A dropped first delivery is retransmitted up to kMaxRedeliveries
+    // times; each retransmission can itself be dropped ("comm.redeliver").
+    // Exhausting the redelivery budget is a hard transport failure.
+    bool delivered = !COSMO_FAULT_POINT("comm.send");
+    if (!delivered) {
+      COSMO_COUNT("comm.delivery_drops", 1);
+      for (int redelivery = 0; redelivery < kMaxRedeliveries; ++redelivery) {
+        COSMO_COUNT("comm.redeliveries", 1);
+        if (!COSMO_FAULT_POINT("comm.redeliver")) {
+          delivered = true;
+          break;
+        }
+        COSMO_COUNT("comm.delivery_drops", 1);
+      }
+    }
+    COSMO_REQUIRE(delivered, "payload delivery failed after " +
+                                 std::to_string(kMaxRedeliveries) +
+                                 " redeliveries");
     detail::Message msg;
     msg.source = rank_;
     msg.tag = tag;

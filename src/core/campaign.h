@@ -46,6 +46,9 @@ struct StepOutcome {
   double offline_analysis_s = 0.0;
   std::uint64_t deferred_halos = 0;
   double trigger_to_done_s = 0.0;   ///< analysis-job turnaround
+  /// True when the co-scheduled analysis never delivered (dead-lettered
+  /// submit or failed job) and the step fell back to in-situ analysis.
+  bool degraded = false;
 };
 
 struct CampaignResult {
@@ -55,6 +58,10 @@ struct CampaignResult {
   std::uint64_t listener_triggers = 0;
   std::uint64_t listener_polls = 0;
   std::size_t max_concurrent_analysis = 0;  ///< observed overlap/pile-up
+  // Recovery bookkeeping (zero on a fault-free campaign).
+  std::uint64_t degraded_steps = 0;
+  std::uint64_t dead_letter_submits = 0;
+  std::uint64_t analysis_job_failures = 0;
 };
 
 /// Runs a co-scheduled campaign. The per-step universe uses the base seed
@@ -92,33 +99,47 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
   std::atomic<std::size_t> peak_running{0};
   obs::TimedSpan campaign_timer("campaign.wall_clock", "campaign");
 
-  auto analysis_job = [&](std::size_t step) {
-    const int now_running = ++running_analysis;
-    std::size_t expected = peak_running.load();
-    while (static_cast<std::size_t>(now_running) > expected &&
-           !peak_running.compare_exchange_weak(
-               expected, static_cast<std::size_t>(now_running))) {
-    }
-    obs::TimedSpan turnaround("campaign.analysis_job", "campaign");
-    COSMO_COUNT("campaign.analysis_jobs", 1);
+  // Tracks which steps the co-scheduled path actually delivered; anything
+  // still pending after the drain is absorbed by the in-situ fallback.
+  std::vector<std::uint8_t> offline_done(cfg.timesteps, 0);
+  std::atomic<std::uint64_t> job_failures{0};
+
+  // Off-line analysis of one step's Level 2 files on `ranks` ranks with the
+  // given backend — the co-scheduled job normally, the in-situ fallback
+  // when a step degrades. Returns (catalog part, worst-rank seconds).
+  auto offline_analysis_for_step = [&](std::size_t step, int ranks,
+                                       dpp::Backend backend) {
     const auto problem = [&] {
       WorkflowProblem p = cfg.base;
       p.universe = universes[step];
       return p;
     }();
-    // Read the step's Level 2 blocks, balance, center, SO.
     stats::HaloCatalog offline;
     double offline_s = 0.0;
-    comm::run_spmd(problem.analysis_ranks, [&](comm::Comm& c) {
+    comm::run_spmd(ranks, [&](comm::Comm& c) {
       std::vector<sim::ParticleSet> halos;
-      for (int src = 0; src < problem.ranks; ++src) {
-        if (src % c.size() != c.rank()) continue;
-        const auto path = io::aggregated_file_path(
-            problem.workdir / ("level2.step" + std::to_string(step)), src);
-        io::CosmoIoReader reader(path);
-        for (std::uint32_t b = 0; b < reader.num_blocks(); ++b)
-          halos.push_back(reader.read_block(b));
+      bool read_failed = false;
+      try {
+        for (int src = 0; src < problem.ranks; ++src) {
+          if (src % c.size() != c.rank()) continue;
+          const auto path = io::aggregated_file_path(
+              problem.workdir / ("level2.step" + std::to_string(step)), src);
+          io::CosmoIoReader reader(path);
+          for (std::uint32_t b = 0; b < reader.num_blocks(); ++b)
+            halos.push_back(reader.read_block(b));
+        }
+      } catch (const std::exception&) {
+        // A rank that lost its reads must not abandon its peers mid-
+        // collective (they would block forever in the allgather below).
+        // Record the failure and agree on it first; then every rank throws
+        // together and the job dies cleanly.
+        read_failed = true;
+        halos.clear();
       }
+      const int any_failed =
+          c.allreduce_value(read_failed ? 1 : 0, comm::ReduceOp::Max);
+      COSMO_REQUIRE(any_failed == 0,
+                    "Level 2 read failed on an analysis rank");
       // Share all halos (Level 2 "redistribution").
       std::vector<std::size_t> counts;
       const auto buf = detail::pack_halos(halos);
@@ -132,8 +153,8 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
       }
       obs::TimedSpan t("campaign.offline_analysis", "campaign");
       auto part = detail::analyze_level2(
-          c, problem, all, sim::synthetic_total_particles(problem.universe),
-          nullptr);
+          c, problem, backend, all,
+          sim::synthetic_total_particles(problem.universe), nullptr);
       const double mine = t.finish();
       const double worst = c.allreduce_value(mine, comm::ReduceOp::Max);
       if (c.rank() == 0) {
@@ -141,12 +162,32 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
         offline_s = worst;
       }
     });
-    {
+    return std::make_pair(std::move(offline), offline_s);
+  };
+
+  auto analysis_job = [&](std::size_t step) {
+    const int now_running = ++running_analysis;
+    std::size_t expected = peak_running.load();
+    while (static_cast<std::size_t>(now_running) > expected &&
+           !peak_running.compare_exchange_weak(
+               expected, static_cast<std::size_t>(now_running))) {
+    }
+    obs::TimedSpan turnaround("campaign.analysis_job", "campaign");
+    COSMO_COUNT("campaign.analysis_jobs", 1);
+    try {
+      auto [offline, offline_s] = offline_analysis_for_step(
+          step, cfg.base.analysis_ranks, cfg.base.analysis_backend);
       std::lock_guard lock(result_mutex);
       auto& out = result.steps[step];
       out.offline_analysis_s = offline_s;
       out.trigger_to_done_s = turnaround.finish();
       out.catalog = stats::reconcile_catalogs(out.catalog, offline);
+      offline_done[step] = 1;
+    } catch (const std::exception&) {
+      // The co-scheduled job died (injected I/O failure, lost delivery…).
+      // Leave the step unreconciled; the post-drain fallback absorbs it.
+      COSMO_COUNT("campaign.analysis_job_failures", 1);
+      ++job_failures;
     }
     --running_analysis;
   };
@@ -179,13 +220,20 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
       const double analysis_s = t_analysis.finish();
 
       // Emit the step's Level 2 (one file per rank, one block per halo).
+      // Retried whole-file on injected write failures: a partial file is
+      // unfinalized and simply rewritten from the in-memory halos.
       const auto base = p.workdir / ("level2.step" + std::to_string(s));
       {
-        io::CosmoIoWriter w(io::aggregated_file_path(base, c.rank()),
-                            {p.universe.box, 1.0, 0, 0});
-        for (const auto& h : out.deferred)
-          w.write_block(h, static_cast<std::uint32_t>(c.rank()));
-        w.finalize();
+        util::Retry retry;
+        const auto outcome = retry.run("campaign.level2_write", [&] {
+          io::CosmoIoWriter w(io::aggregated_file_path(base, c.rank()),
+                              {p.universe.box, 1.0, 0, 0});
+          for (const auto& h : out.deferred)
+            w.write_block(h, static_cast<std::uint32_t>(c.rank()));
+          w.finalize();
+          return true;
+        });
+        COSMO_REQUIRE(outcome.success, "Level 2 write failed after retries");
       }
       // All ranks' files must exist before the step trigger fires.
       c.barrier();
@@ -220,10 +268,35 @@ inline CampaignResult run_campaign(const CampaignConfig& cfg) {
     lock.unlock();
     t.join();
   }
-  result.wall_clock_s = campaign_timer.finish();
   result.listener_triggers = listener.stats().triggers;
   result.listener_polls = listener.stats().polls;
+  result.dead_letter_submits = listener.stats().dead_letters;
+  result.analysis_job_failures = job_failures.load();
   result.max_concurrent_analysis = peak_running.load();
+
+  // Graceful degradation: any step the co-scheduled path never delivered
+  // (dead-lettered submit, missed trigger, or failed analysis job) falls
+  // back to in-situ analysis on the simulation job's own resources — the
+  // paper's decision structure — and the downgrade is recorded.
+  for (std::size_t s = 0; s < cfg.timesteps; ++s) {
+    const bool done = [&] {
+      std::lock_guard lock(result_mutex);
+      return offline_done[s] != 0;
+    }();
+    if (done) continue;
+    COSMO_COUNT("workflow.degraded", 1);
+    COSMO_TRACE_SPAN_CAT("workflow.degraded_step", "faults");
+    ++result.degraded_steps;
+    auto [offline, offline_s] =
+        offline_analysis_for_step(s, cfg.base.ranks, cfg.base.backend);
+    std::lock_guard lock(result_mutex);
+    auto& out = result.steps[s];
+    out.degraded = true;
+    out.offline_analysis_s = offline_s;
+    out.catalog = stats::reconcile_catalogs(out.catalog, offline);
+  }
+
+  result.wall_clock_s = campaign_timer.finish();
   for (auto& s : result.steps) stats::sort_catalog(s.catalog);
   return result;
 }

@@ -25,12 +25,15 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <thread>
@@ -40,6 +43,7 @@
 #include "core/algorithms.h"
 #include "core/cosmotools.h"
 #include "core/split_tuner.h"
+#include "faults/faults.h"
 #include "io/aggregated.h"
 #include "io/cosmo_io.h"
 #include "obs/obs.h"
@@ -47,6 +51,7 @@
 #include "sched/staging.h"
 #include "sim/synthetic.h"
 #include "stats/catalog.h"
+#include "util/retry.h"
 #include "util/timer.h"
 
 namespace cosmo::core {
@@ -95,6 +100,9 @@ struct WorkflowProblem {
   std::size_t subhalo_min_host = 5000;
   std::filesystem::path workdir;       ///< scratch for Level 1/2/3 files
   std::uint64_t staging_capacity = 1ull << 30;
+  /// How long the in-transit consumer waits for a staged buffer before
+  /// treating the handoff as failed and falling back.
+  std::chrono::milliseconds staging_take_timeout{10000};
 };
 
 struct PhaseTimes {
@@ -121,6 +129,11 @@ struct WorkflowResult {
   std::uint64_t level1_bytes = 0, level2_bytes = 0, level3_bytes = 0;
   std::uint64_t total_halos = 0, deferred_halos = 0;
   std::uint64_t listener_triggers = 0, listener_polls = 0;
+  // Recovery bookkeeping (all zero on a fault-free run).
+  std::uint64_t degraded_steps = 0;      ///< steps that fell back to in-situ
+  std::uint64_t staging_fallbacks = 0;   ///< ranks routed Level 2 via files
+  std::uint64_t dead_letter_submits = 0; ///< listener submits that gave up
+  std::uint64_t submit_retries = 0;      ///< extra listener submit attempts
 };
 
 namespace detail {
@@ -241,9 +254,11 @@ inline SimJobOutput run_insitu_pipeline(comm::Comm& c,
 
 /// Off-line analysis of Level 2 halo particle sets (the "Moonlight" job):
 /// LPT-balanced center finding (+ SO/subhalos when enabled). Returns the
-/// off-line catalog part; fills per-rank center seconds.
+/// off-line catalog part; fills per-rank center seconds. `backend` is the
+/// executing cluster's hardware — normally p.analysis_backend, but a
+/// degraded step runs on the simulation side's backend instead.
 inline stats::HaloCatalog analyze_level2(
-    comm::Comm& c, const WorkflowProblem& p,
+    comm::Comm& c, const WorkflowProblem& p, dpp::Backend backend,
     const std::vector<sim::ParticleSet>& halos, std::uint64_t total_particles,
     std::vector<double>* center_seconds_per_rank) {
   // Balance halos across analysis ranks by the n² cost model.
@@ -270,7 +285,7 @@ inline stats::HaloCatalog analyze_level2(
     const sim::ParticleSet& h = halos[h_idx];
     std::vector<std::uint32_t> members(h.size());
     std::iota(members.begin(), members.end(), 0u);
-    const auto r = halo::mbp_center_brute(p.analysis_backend, h, members, ccfg);
+    const auto r = halo::mbp_center_brute(backend, h, members, ccfg);
     stats::HaloRecord rec;
     // Halo id = minimum particle tag (the FOF id definition), recoverable
     // from the Level 2 block itself.
@@ -426,27 +441,54 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
 
   // --- variant-specific Level 2 emission ---------------------------------
   auto staging = std::make_shared<sched::StagingArea>(problem.staging_capacity);
+  // Producer ranks whose staging put failed and were routed through the
+  // filesystem instead; the consumer reads their Level 2 from files.
+  // Guarded by shared.mutex.
+  std::set<int> staging_fallback_ranks;
 
-  auto emit_to_files = [&](comm::Comm& c, detail::SimJobOutput& out) {
-    // One Level 2 file per rank, one block per deferred halo; halo id is
-    // recoverable as the block's minimum tag. Trigger file marks readiness.
-    if (threshold == 0) return;
-    const auto path = io::aggregated_file_path(
-        problem.workdir / "level2", c.rank());
-    io::CosmoIoWriter w(path, {problem.universe.box, 1.0, 0, 0});
-    for (const auto& h : out.deferred)
-      w.write_block(h, static_cast<std::uint32_t>(c.rank()));
-    w.finalize();
+  // One Level 2 file per rank, one block per deferred halo; halo id is
+  // recoverable as the block's minimum tag. Trigger file marks readiness.
+  // A failed or partial write leaves an unfinalized file the reader would
+  // reject, so the whole file is retried from scratch (the deferred halos
+  // are still in memory).
+  auto write_level2_files = [&](int rank,
+                                const std::vector<sim::ParticleSet>& deferred) {
+    const auto path =
+        io::aggregated_file_path(problem.workdir / "level2", rank);
+    util::Retry retry;
+    const auto outcome = retry.run("workflow.level2_write", [&] {
+      io::CosmoIoWriter w(path, {problem.universe.box, 1.0, 0, 0});
+      for (const auto& h : deferred)
+        w.write_block(h, static_cast<std::uint32_t>(rank));
+      w.finalize();
+      return true;
+    });
+    COSMO_REQUIRE(outcome.success,
+                  "Level 2 write failed after retries: " + path.string());
+    if (outcome.attempts > 1)
+      COSMO_COUNT("workflow.write_retries",
+                  static_cast<std::uint64_t>(outcome.attempts - 1));
     std::ofstream trigger(io::trigger_path(path));
     trigger << "ok\n";
+  };
+
+  auto emit_to_files = [&](comm::Comm& c, detail::SimJobOutput& out) {
+    if (threshold == 0) return;
+    write_level2_files(c.rank(), out.deferred);
   };
 
   auto emit_to_staging = [&](comm::Comm& c, detail::SimJobOutput& out) {
     if (threshold == 0) return;
     const auto buf = detail::pack_halos(out.deferred);
-    const bool ok =
-        staging->put("level2.rank" + std::to_string(c.rank()), buf);
-    COSMO_REQUIRE(ok, "staging area overflow — increase staging_capacity");
+    if (staging->put("level2.rank" + std::to_string(c.rank()), buf)) return;
+    // Burst buffer unavailable (capacity exhausted, closed, or injected
+    // device failure): fall back to the filesystem — the overflow behaviour
+    // the staging area documents — and tell the consumer where to look.
+    COSMO_COUNT("workflow.staging_fallbacks", 1);
+    write_level2_files(c.rank(), out.deferred);
+    std::lock_guard lock(shared.mutex);
+    ++shared.result.staging_fallbacks;
+    staging_fallback_ranks.insert(c.rank());
   };
 
   // --- co-scheduling listener (real, watching the workdir) ---------------
@@ -466,12 +508,30 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
   else
     detail::simulation_job(problem, kind, threshold, shared, emit_to_files);
 
+  bool degraded = false;
   if (listener) {
     listener->wait_for_triggers(static_cast<std::uint64_t>(problem.ranks),
                                 std::chrono::milliseconds(5000));
     listener->stop();
-    shared.result.listener_triggers = listener->stats().triggers;
-    shared.result.listener_polls = listener->stats().polls;
+    const auto stats = listener->stats();
+    shared.result.listener_triggers = stats.triggers;
+    shared.result.listener_polls = stats.polls;
+    shared.result.dead_letter_submits = stats.dead_letters;
+    shared.result.submit_retries = stats.submit_retries;
+    // Co-scheduled analysis is unavailable when any trigger's submission
+    // dead-lettered (failed permanently after retries) or triggers never
+    // surfaced at all: degrade the step — the paper's own decision
+    // structure — by running the deferred analysis on the simulation job's
+    // resources instead.
+    degraded = stats.dead_letters > 0 ||
+               stats.triggers < static_cast<std::uint64_t>(problem.ranks);
+  }
+  if (kind == WorkflowKind::CombinedInTransit &&
+      COSMO_FAULT_POINT("workflow.intransit_consumer")) {
+    // The co-scheduled consumer died before the handoff; the staged data is
+    // drained by the fallback job on the simulation side's resources.
+    COSMO_COUNT("workflow.consumer_faults", 1);
+    degraded = true;
   }
 
   // --- post-processing job -------------------------------------------------
@@ -531,31 +591,77 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
       }
     });
   } else if (kind != WorkflowKind::InSitu) {
-    // Combined variants: small analysis job over Level 2.
-    comm::run_spmd(problem.analysis_ranks, [&](comm::Comm& c) {
+    // Combined variants: small analysis job over Level 2. A degraded step
+    // runs the same job shape on the simulation job's ranks and backend —
+    // in-situ fallback — and records the downgrade.
+    const int post_ranks = degraded ? problem.ranks : problem.analysis_ranks;
+    const dpp::Backend post_backend =
+        degraded ? problem.backend : problem.analysis_backend;
+    std::optional<obs::ScopedSpan> degraded_span;
+    if (degraded) {
+      COSMO_COUNT("workflow.degraded", 1);
+      shared.result.degraded_steps = 1;
+      degraded_span.emplace("workflow.degraded_step", "faults");
+    }
+    comm::run_spmd(post_ranks, [&](comm::Comm& c) {
       obs::TimedSpan t_read("phase.read", to_string(kind));
       std::vector<sim::ParticleSet> halos;
+      bool read_failed = false;
+      auto read_level2_file = [&](int src) {
+        const auto path =
+            io::aggregated_file_path(problem.workdir / "level2", src);
+        io::CosmoIoReader reader(path);
+        for (std::uint32_t b = 0; b < reader.num_blocks(); ++b)
+          halos.push_back(reader.read_block(b));
+      };
+      try {
       if (kind == WorkflowKind::CombinedInTransit) {
         // Take every producer rank's staged buffer (blocking handoff),
-        // dealt round-robin across analysis ranks.
+        // dealt round-robin across analysis ranks. Ranks whose put fell
+        // back to the filesystem are read from their Level 2 file instead.
         for (int src = 0; src < problem.ranks; ++src) {
           if (src % c.size() != c.rank()) continue;
-          auto buf = staging->take_blocking(
-              "level2.rank" + std::to_string(src),
-              std::chrono::milliseconds(10000));
-          COSMO_REQUIRE(buf.has_value(), "staged Level 2 buffer missing");
-          for (auto& h : detail::unpack_halos(*buf)) halos.push_back(std::move(h));
+          const bool fell_back = [&] {
+            std::lock_guard lock(shared.mutex);
+            return staging_fallback_ranks.count(src) != 0;
+          }();
+          std::optional<std::vector<std::byte>> buf;
+          if (!fell_back) {
+            const std::string name = "level2.rank" + std::to_string(src);
+            buf = staging->take_blocking(name, problem.staging_take_timeout);
+            if (!buf) {
+              // Lost handoff (injected or timed out): the data may still be
+              // resident — retry the take once before giving up.
+              buf = staging->take(name);
+              if (buf) COSMO_COUNT("workflow.staging_take_retries", 1);
+            }
+          }
+          if (buf) {
+            for (auto& h : detail::unpack_halos(*buf))
+              halos.push_back(std::move(h));
+          } else {
+            COSMO_REQUIRE(fell_back, "staged Level 2 buffer missing: rank " +
+                                         std::to_string(src));
+            read_level2_file(src);
+          }
         }
       } else {
         for (int src = 0; src < problem.ranks; ++src) {
           if (src % c.size() != c.rank()) continue;
-          const auto path = io::aggregated_file_path(
-              problem.workdir / "level2", src);
-          io::CosmoIoReader reader(path);
-          for (std::uint32_t b = 0; b < reader.num_blocks(); ++b)
-            halos.push_back(reader.read_block(b));
+          read_level2_file(src);
         }
       }
+      } catch (const std::exception&) {
+        // Keep collectives matched: a rank whose Level 2 acquisition failed
+        // must not bail out while its peers wait in the allgather below.
+        // Agree on the failure first, then all ranks throw together.
+        read_failed = true;
+        halos.clear();
+      }
+      const int any_read_failed =
+          c.allreduce_value(read_failed ? 1 : 0, comm::ReduceOp::Max);
+      COSMO_REQUIRE(any_read_failed == 0,
+                    "Level 2 acquisition failed on a post-processing rank");
       const double read_s = t_read.finish();
 
       // "Redistribute": collect all halos onto every rank (they are then
@@ -581,7 +687,7 @@ inline WorkflowResult run_workflow(WorkflowKind kind,
       obs::TimedSpan t_analysis("phase.post_analysis", to_string(kind));
       std::vector<double> center_per_rank;
       auto offline_catalog = detail::analyze_level2(
-          c, problem, all_halos,
+          c, problem, post_backend, all_halos,
           sim::synthetic_total_particles(problem.universe), &center_per_rank);
       const double analysis_s = t_analysis.finish();
 

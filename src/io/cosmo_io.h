@@ -15,13 +15,16 @@
 //   table (e.g. a crashed writer) is rejected by the reader.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "faults/faults.h"
 #include "obs/obs.h"
 #include "sim/particles.h"
 #include "util/crc32.h"
@@ -84,6 +87,17 @@ class CosmoIoWriter {
   std::uint32_t write_block(const sim::ParticleSet& p,
                             std::uint32_t writer_rank = 0) {
     COSMO_REQUIRE(!finalized_, "write_block after finalize");
+    if (COSMO_FAULT_POINT("io.write_slow")) {
+      // Contended OST: the write lands, just slowly.
+      COSMO_COUNT("io.slow_writes", 1);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(COSMO_FAULT_PARAM("io.write_slow", 2)));
+    }
+    if (COSMO_FAULT_POINT("io.write_fail")) {
+      COSMO_COUNT("io.write_faults", 1);
+      throw Error("injected write failure on " + path_.string());
+    }
+    const bool partial = COSMO_FAULT_POINT("io.write_partial");
     detail::BlockEntry e;
     e.offset = static_cast<std::uint64_t>(out_.tellp());
     e.particles = p.size();
@@ -92,6 +106,12 @@ class CosmoIoWriter {
     const std::uint64_t n = p.size();
     write_raw(&n, sizeof(n));
     write_array(p.x);
+    if (partial) {
+      // Process died mid-block: some arrays hit the disk, the header's
+      // table_offset stays 0, and the reader will reject the file.
+      COSMO_COUNT("io.write_faults", 1);
+      throw Error("injected partial write on " + path_.string());
+    }
     write_array(p.y);
     write_array(p.z);
     write_array(p.vx);
@@ -183,6 +203,10 @@ class CosmoIoReader {
   /// Reads one block, validating every variable's CRC.
   sim::ParticleSet read_block(std::uint32_t b) {
     COSMO_REQUIRE(b < table_.size(), "block index out of range");
+    if (COSMO_FAULT_POINT("io.read_fail")) {
+      COSMO_COUNT("io.read_faults", 1);
+      throw Error("injected read failure on " + path_.string());
+    }
     COSMO_COUNT("io.blocks_read", 1);
     in_.seekg(static_cast<std::streamoff>(table_[b].offset));
     std::uint64_t n = 0;

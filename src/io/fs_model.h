@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "faults/faults.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace cosmo::io {
@@ -26,7 +28,15 @@ struct FilesystemModel {
 
   double write_seconds(std::uint64_t bytes) const {
     COSMO_REQUIRE(bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
-    return latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+    double seconds =
+        latency_s + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+    if (COSMO_FAULT_POINT("fs.degraded")) {
+      // Striping contention / OST failover: the operation completes at a
+      // fraction of nominal bandwidth (param = slowdown factor).
+      COSMO_COUNT("io.fs_degraded", 1);
+      seconds *= static_cast<double>(COSMO_FAULT_PARAM("fs.degraded", 10));
+    }
+    return seconds;
   }
 
   double read_seconds(std::uint64_t bytes) const {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.h"
 #include "obs/obs.h"
 #include "util/error.h"
 
@@ -30,6 +31,9 @@ struct QueuePolicy {
   /// If false, a job may start ahead of earlier-submitted jobs that do not
   /// fit yet (backfill). If true, strict FIFO.
   bool strict_fifo = false;
+  /// How many times a failed job (fault site "batch.job") is resubmitted
+  /// before it is recorded as permanently failed.
+  int max_requeues = 3;
 };
 
 struct MachineProfile {
@@ -67,6 +71,8 @@ struct JobRecord {
   double submit_time = 0.0;
   double start_time = -1.0;  ///< −1 while queued
   double end_time = -1.0;
+  int requeues = 0;     ///< resubmissions after injected failures
+  bool failed = false;  ///< permanently failed (requeue budget exhausted)
   bool started() const { return start_time >= 0.0; }
   bool finished() const { return end_time >= 0.0; }
   double wait_s() const { return started() ? start_time - submit_time : -1.0; }
@@ -95,13 +101,21 @@ class BatchScheduler {
     j.duration_s = duration_s;
     j.submit_time = submit_time;
     jobs_.push_back(j);
+    completion_checked_.push_back(0);
     return static_cast<JobId>(jobs_.size() - 1);
   }
 
   /// Advances simulated time until every submitted job has finished.
   void run_to_completion() {
     for (;;) {
-      dispatch();
+      // Settle the current instant: dispatching can complete zero-duration
+      // jobs, and a failed completion requeues a job that may dispatch
+      // again right away, so iterate until neither makes progress.
+      bool progress = true;
+      while (progress) {
+        progress = dispatch();
+        if (check_completions()) progress = true;
+      }
       // Next event: the earliest future submit time or running-job
       // completion. Jobs already submitted but blocked (queue full, policy)
       // become startable only at one of those events, so they do not
@@ -142,12 +156,15 @@ class BatchScheduler {
     return m;
   }
 
-  /// Total charged core-hours: Σ nodes × runtime × charge factor.
+  /// Total charged core-hours: Σ nodes × runtime × charge factor. Every
+  /// attempt of a requeued job is charged — the facility bills failed runs
+  /// too — so a job that ran requeues+1 times costs that multiple.
   double total_core_hours() const {
     double t = 0.0;
     for (const auto& j : jobs_) {
       COSMO_REQUIRE(j.finished(), "accounting before completion");
-      t += j.nodes * (j.duration_s / 3600.0) * profile_.charge_per_node_hour;
+      t += j.nodes * (j.duration_s * (j.requeues + 1) / 3600.0) *
+           profile_.charge_per_node_hour;
     }
     return t;
   }
@@ -169,7 +186,8 @@ class BatchScheduler {
     return n;
   }
 
-  void dispatch() {
+  bool dispatch() {
+    bool any_started = false;
     bool progress = true;
     while (progress) {
       progress = false;
@@ -190,15 +208,45 @@ class BatchScheduler {
           COSMO_HISTOGRAM("sched.job_runtime_s", 0.0, 3600.0, 72,
                           j.duration_s);
           progress = true;
+          any_started = true;
         } else if (profile_.policy.strict_fifo) {
-          return;  // head of queue blocks everything behind it
+          return any_started;  // head of queue blocks everything behind it
         }
       }
     }
+    return any_started;
+  }
+
+  /// Checks each newly completed run against the "batch.job" fault site:
+  /// a failed run is resubmitted at the current time until the policy's
+  /// requeue budget is exhausted, after which the job is marked failed.
+  /// Returns true when a requeue re-opened work at the current instant.
+  bool check_completions() {
+    bool requeued = false;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      auto& j = jobs_[i];
+      if (!j.started() || j.end_time > now_ || completion_checked_[i]) continue;
+      completion_checked_[i] = 1;
+      if (!COSMO_FAULT_POINT("batch.job")) continue;
+      COSMO_COUNT("sched.jobs_failed", 1);
+      if (j.requeues < profile_.policy.max_requeues) {
+        ++j.requeues;
+        COSMO_COUNT("sched.jobs_requeued", 1);
+        j.submit_time = now_;
+        j.start_time = -1.0;
+        j.end_time = -1.0;
+        completion_checked_[i] = 0;
+        requeued = true;
+      } else {
+        j.failed = true;
+      }
+    }
+    return requeued;
   }
 
   MachineProfile profile_;
   std::vector<JobRecord> jobs_;
+  std::vector<std::uint8_t> completion_checked_;
   double now_ = 0.0;
 };
 

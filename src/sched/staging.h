@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.h"
 #include "obs/obs.h"
 #include "util/error.h"
 
@@ -39,12 +40,20 @@ class StagingArea {
   }
 
   /// Stages a named buffer. Returns false (without storing) if it would
-  /// exceed capacity — the producer must then fall back to the filesystem,
-  /// exactly the overflow behaviour burst-buffer systems document.
+  /// exceed capacity, if the area is closed (dead consumer), or if the
+  /// injected device fault fires — the producer must then fall back to the
+  /// filesystem, exactly the overflow behaviour burst-buffer systems
+  /// document.
   bool put(const std::string& name, std::vector<std::byte> data) {
     std::unique_lock lock(mutex_);
     COSMO_REQUIRE(!store_.count(name), "staging name already in use: " + name);
-    if (used_ + data.size() > capacity_) {
+    bool reject = closed_ || used_ + data.size() > capacity_;
+    if (!reject && COSMO_FAULT_POINT("staging.put")) {
+      // Device-level failure: the buffer had room, the write still bounced.
+      COSMO_COUNT("sched.staging_faults", 1);
+      reject = true;
+    }
+    if (reject) {
       COSMO_COUNT("sched.staging_rejects", 1);
       return false;
     }
@@ -69,20 +78,44 @@ class StagingArea {
     return out;
   }
 
-  /// Blocks until the named buffer is staged (or timeout), then removes and
-  /// returns it. The consumer side of the in-transit handoff.
+  /// Blocks until the named buffer is staged (or timeout / area closed),
+  /// then removes and returns it. The consumer side of the in-transit
+  /// handoff. An injected "staging.take" fault models a lost handoff: the
+  /// call returns empty even though the data may be resident (a plain
+  /// take() retry can still succeed).
   std::optional<std::vector<std::byte>> take_blocking(
       const std::string& name, std::chrono::milliseconds timeout) {
     std::unique_lock lock(mutex_);
-    if (!cv_.wait_for(lock, timeout,
-                      [&] { return store_.count(name) != 0; }))
+    if (COSMO_FAULT_POINT("staging.take")) {
+      COSMO_COUNT("sched.staging_take_faults", 1);
       return std::nullopt;
+    }
+    cv_.wait_for(lock, timeout,
+                 [&] { return store_.count(name) != 0 || closed_; });
     auto it = store_.find(name);
+    if (it == store_.end()) return std::nullopt;
     std::vector<std::byte> out = std::move(it->second);
     used_ -= out.size();
     store_.erase(it);
     COSMO_COUNT("sched.staging_takes", 1);
     return out;
+  }
+
+  /// Marks the consumer dead: subsequent puts are rejected (producers fall
+  /// back to the filesystem) and blocked takers wake immediately.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    COSMO_COUNT("sched.staging_closed", 1);
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
   }
 
   std::size_t staged_count() const {
@@ -96,6 +129,7 @@ class StagingArea {
   std::condition_variable cv_;
   std::map<std::string, std::vector<std::byte>> store_;
   std::uint64_t used_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace cosmo::sched

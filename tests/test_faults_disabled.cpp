@@ -1,0 +1,80 @@
+// Compiled with COSMO_FAULTS_DISABLED: every fault point in the library is
+// the constant `false`, so an armed plan — even one demanding a fault on
+// every query — must inject nothing and change nothing. This is the
+// zero-overhead compile-out guarantee: the failure branches are dead code.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/workflows.h"
+#include "faults/faults.h"
+#include "sched/staging.h"
+
+namespace {
+
+using namespace cosmo;
+using namespace cosmo::core;
+namespace fs = std::filesystem;
+
+TEST(FaultsDisabled, MacrosCompileToConstants) {
+  // Arm a plan that would fire on every query if the sites were live.
+  faults::Plan plan(1);
+  plan.set_rate("any.site", 1.0);
+  plan.set_param("any.site", 99);
+  faults::ScopedPlan armed(plan);
+  EXPECT_FALSE(COSMO_FAULT_POINT("any.site"));
+  EXPECT_EQ(COSMO_FAULT_PARAM("any.site", 7), 7u);
+  EXPECT_EQ(plan.injected_total(), 0u) << "the macro never reached the plan";
+}
+
+TEST(FaultsDisabled, StagingIgnoresArmedPlan) {
+  faults::Plan plan(2);
+  plan.set_rate("staging.put", 1.0);
+  plan.set_rate("staging.take", 1.0);
+  faults::ScopedPlan armed(plan);
+  sched::StagingArea area(1 << 20);
+  EXPECT_TRUE(area.put("a", std::vector<std::byte>(64)));
+  auto buf = area.take_blocking("a", std::chrono::milliseconds(100));
+  ASSERT_TRUE(buf.has_value());
+  EXPECT_EQ(buf->size(), 64u);
+  EXPECT_EQ(plan.injected_total(), 0u);
+}
+
+TEST(FaultsDisabled, WorkflowRunsUnchangedUnderHostilePlan) {
+  faults::Plan plan(3);
+  for (const char* site :
+       {"comm.send", "comm.delay", "io.write_fail", "io.write_partial",
+        "io.read_fail", "listener.submit", "listener.poll", "staging.put",
+        "workflow.intransit_consumer"})
+    plan.set_rate(site, 1.0);
+  faults::ScopedPlan armed(plan);
+
+  WorkflowProblem p;
+  p.universe.box = 32.0;
+  p.universe.seed = 4242;
+  p.universe.halo_count = 12;
+  p.universe.min_particles = 60;
+  p.universe.max_particles = 1500;
+  p.universe.background_particles = 400;
+  p.universe.subclump_fraction = 0.0;
+  p.ranks = 4;
+  p.analysis_ranks = 2;
+  p.linking_length = 0.3;
+  p.overload = 2.5;
+  p.threshold = 150;
+  p.workdir = fs::temp_directory_path() /
+              ("faults_off_" + std::to_string(::getpid()));
+  const auto r = run_workflow(WorkflowKind::CombinedCoScheduled, p);
+
+  EXPECT_GT(r.total_halos, 5u);
+  EXPECT_EQ(r.degraded_steps, 0u);
+  EXPECT_EQ(r.staging_fallbacks, 0u);
+  EXPECT_EQ(r.dead_letter_submits, 0u);
+  EXPECT_EQ(r.submit_retries, 0u);
+  EXPECT_EQ(plan.injected_total(), 0u);
+  std::error_code ec;
+  fs::remove_all(p.workdir, ec);
+}
+
+}  // namespace

@@ -9,12 +9,15 @@
 
 #include "comm/comm.h"
 #include "core/workflows.h"
+#include "faults/faults.h"
 #include "fft/fft.h"
 #include "halo/fof.h"
 #include "halo/so_mass.h"
 #include "io/cosmo_io.h"
+#include "obs/metrics.h"
 #include "sched/batch_scheduler.h"
 #include "sim/synthetic.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace {
@@ -282,6 +285,111 @@ TEST(SchedRobustness, ExactFitFillsMachine) {
   EXPECT_DOUBLE_EQ(s.job(cjob).start_time, 10.0);  // machine was exactly full
 }
 
+// ------------------------------------------------------------------ retry
+
+TEST(RetryRobustness, ZeroAttemptsFailsWithoutRunning) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 0;
+  int calls = 0;
+  const auto r = util::Retry(policy).run("edge.zero", [&] {
+    ++calls;
+    return true;
+  });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.attempts, 0);
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(RetryRobustness, ZeroBudgetTimesOutBeforeFirstTry) {
+  util::RetryPolicy policy;
+  policy.total_budget = std::chrono::milliseconds(0);
+  int calls = 0;
+  const auto r = util::Retry(policy).run("edge.budget", [&] {
+    ++calls;
+    return true;
+  });
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(r.attempts, 0);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(RetryRobustness, BackoffIsClampedAtCeiling) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.backoff_multiplier = 4.0;
+  policy.max_backoff = std::chrono::milliseconds(5);
+  policy.max_jitter = std::chrono::milliseconds(0);
+  util::Retry retry(policy);
+  // 1, 4, then pinned to the 5 ms ceiling forever after.
+  EXPECT_EQ(retry.backoff_after("edge.clamp", 0).count(), 1);
+  EXPECT_EQ(retry.backoff_after("edge.clamp", 1).count(), 4);
+  for (int attempt = 2; attempt < 7; ++attempt)
+    EXPECT_EQ(retry.backoff_after("edge.clamp", attempt).count(), 5);
+}
+
+TEST(RetryRobustness, JitterSequenceIsDeterministicPerSeed) {
+  util::RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(0);
+  policy.max_backoff = std::chrono::milliseconds(0);
+  policy.max_jitter = std::chrono::milliseconds(100);
+  util::Retry retry(policy);
+
+  faults::Plan plan_a(42), plan_a2(42), plan_b(43);
+  std::vector<std::int64_t> seq_a, seq_a2, seq_b;
+  {
+    faults::ScopedPlan armed(plan_a);
+    for (int k = 0; k < 6; ++k)
+      seq_a.push_back(retry.backoff_after("edge.jitter", k).count());
+  }
+  {
+    faults::ScopedPlan armed(plan_a2);
+    for (int k = 0; k < 6; ++k)
+      seq_a2.push_back(retry.backoff_after("edge.jitter", k).count());
+  }
+  {
+    faults::ScopedPlan armed(plan_b);
+    for (int k = 0; k < 6; ++k)
+      seq_b.push_back(retry.backoff_after("edge.jitter", k).count());
+  }
+  EXPECT_EQ(seq_a, seq_a2);  // same seed → same schedule
+  EXPECT_NE(seq_a, seq_b);   // different seed → different schedule
+  for (const auto j : seq_a) {
+    EXPECT_GE(j, 0);
+    EXPECT_LE(j, 100);
+  }
+}
+
+TEST(RetryRobustness, ExceptionCountsAsFailedAttempt) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const auto r = util::Retry(policy).run("edge.throw", [&]() -> bool {
+    if (++calls < 3) throw Error("transient");
+    return true;
+  });
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.attempts, 3);
+}
+
+TEST(RetryRobustness, SlowSuccessfulAttemptCountsAsTimeout) {
+  util::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = std::chrono::milliseconds(0);
+  policy.attempt_timeout = std::chrono::milliseconds(0);  // everything is late
+  int calls = 0;
+  const auto r = util::Retry(policy).run("edge.slow", [&] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return true;  // succeeded, but past the per-attempt deadline
+  });
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(calls, 2);
+}
+
 // --------------------------------------------------------------- workflows
 
 TEST(WorkflowRobustness, SingleRankWorkflowsWork) {
@@ -307,7 +415,7 @@ TEST(WorkflowRobustness, SingleRankWorkflowsWork) {
   fs::remove_all(p.workdir);
 }
 
-TEST(WorkflowRobustness, StagingOverflowIsReported) {
+TEST(WorkflowRobustness, StagingOverflowFallsBackToFilesystem) {
   core::WorkflowProblem p;
   p.universe.box = 24.0;
   p.universe.halo_count = 6;
@@ -322,8 +430,26 @@ TEST(WorkflowRobustness, StagingOverflowIsReported) {
   p.staging_capacity = 64; // absurdly small burst buffer
   p.workdir = fs::temp_directory_path() /
               ("wfstage_" + std::to_string(::getpid()));
-  EXPECT_THROW(core::run_workflow(core::WorkflowKind::CombinedInTransit, p),
-               Error);
+  // The documented burst-buffer overflow behaviour: rejected puts route the
+  // rank's Level 2 through the filesystem and the run still completes.
+  const auto before =
+      obs::MetricsRegistry::instance().counter("workflow.staging_fallbacks")
+          .total();
+  auto rt = core::run_workflow(core::WorkflowKind::CombinedInTransit, p);
+  EXPECT_EQ(rt.staging_fallbacks, 2u);  // every producer rank fell back
+  EXPECT_EQ(
+      obs::MetricsRegistry::instance().counter("workflow.staging_fallbacks")
+              .total() -
+          before,
+      2u);
+
+  // And the fallback produces the same catalog a filesystem variant does.
+  auto rs = core::run_workflow(core::WorkflowKind::CombinedSimple, p);
+  ASSERT_EQ(rt.catalog.size(), rs.catalog.size());
+  for (std::size_t i = 0; i < rt.catalog.size(); ++i) {
+    EXPECT_EQ(rt.catalog[i].id, rs.catalog[i].id);
+    EXPECT_EQ(rt.catalog[i].count, rs.catalog[i].count);
+  }
   fs::remove_all(p.workdir);
 }
 
