@@ -17,10 +17,13 @@
 #                              tests), test_comm (mailbox + incremental
 #                              all-to-all sessions + payload pool), test_fft
 #                              (pipelined transpose: concurrent
-#                              pack/exchange/unpack), and test_faults (fault
+#                              pack/exchange/unpack), test_faults (fault
 #                              injection on the comm/listener/staging hot
 #                              paths, including the coordinated-abort
-#                              collectives) with -DCOSMO_TSAN=ON in
+#                              collectives), and test_halo_parallel (the
+#                              per-halo fan-out, parallel FOF linking and
+#                              parallel k-d tree build racing nested
+#                              dispatches) with -DCOSMO_TSAN=ON in
 #                              build-tsan/ and fails on any reported race.
 set -euo pipefail
 
@@ -31,10 +34,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
   build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
   cmake -B "$build_dir" -S "$repo_root" -DCOSMO_TSAN=ON
   cmake --build "$build_dir" --target test_dpp test_comm test_fft test_faults \
-    -j "$jobs"
+    test_halo_parallel -j "$jobs"
   # TSAN_OPTIONS: any race is fatal (non-zero exit), second_deadlock_stack
   # makes lock-order reports actionable.
-  for t in test_dpp test_comm test_fft test_faults; do
+  for t in test_dpp test_comm test_fft test_faults test_halo_parallel; do
     TSAN_OPTIONS="halt_on_error=0 exitcode=66 second_deadlock_stack=1" \
       "$build_dir/tests/$t"
   done

@@ -14,12 +14,39 @@
 #include "halo/fof.h"
 #include "halo/so_mass.h"
 #include "halo/subhalo.h"
+#include "obs/obs.h"
 #include "stats/concentration.h"
 #include "stats/halo_shape.h"
 #include "stats/power_spectrum.h"
 #include "util/error.h"
 
 namespace cosmo::core {
+
+namespace detail {
+
+/// Grain hint for one halo's O(n²) MBP potential tabulation: finer chunks
+/// for the rare huge halos so the work-stealing pool can spread the one
+/// monster across every worker while small-halo tasks fill the gaps. The
+/// potential tabulation is elementwise and the argmin exact, so the grain
+/// never changes the chosen center.
+inline std::size_t center_grain(std::size_t members) {
+  return members >= 8192 ? 4 : 16;
+}
+
+/// Catalog record → FOF halo via the id index the halo finder publishes;
+/// falls back to a linear scan if the index is absent (e.g. a hand-built
+/// context). Returns nullptr for records centered in a previous step or
+/// owned by the off-line path.
+inline const halo::FofHalo* find_fof_halo(const AnalysisContext& ctx,
+                                          std::int64_t id) {
+  const auto it = ctx.fof_index.find(id);
+  if (it != ctx.fof_index.end()) return &ctx.fof->halos[it->second];
+  for (const auto& cand : ctx.fof->halos)
+    if (cand.id == id) return &cand;
+  return nullptr;
+}
+
+}  // namespace detail
 
 /// CIC density + large FFT → P(k). The paper's canonical well-balanced
 /// in-situ task ("takes only a few minutes, a small fraction of ... a
@@ -59,12 +86,24 @@ class HaloFinderAlgorithm : public CadencedAlgorithm {
     cfg_.linking_length = p.get_double("linking_length", 0.2);
     cfg_.min_size = static_cast<std::size_t>(p.get_int("min_size", 40));
     overload_ = p.get_double("overload", 4.0 * cfg_.linking_length);
+    cfg_.grain = static_cast<std::size_t>(p.get_int("grain", 0));
+    backend_ = p.get_string("backend", "auto");
+    COSMO_REQUIRE(
+        backend_ == "auto" || backend_ == "serial" || backend_ == "threadpool",
+        "halofinder backend must be auto, serial, or threadpool");
   }
 
   void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
+    cfg_.backend = backend_ == "auto"
+                       ? ctx.backend
+                       : (backend_ == "threadpool" ? dpp::Backend::ThreadPool
+                                                   : dpp::Backend::Serial);
     ctx.fof = std::make_shared<halo::DistributedFofResult>(
         halo::fof_distributed(*ctx.comm, *ctx.decomp, *ctx.particles, cfg_,
                               overload_));
+    ctx.fof_index.clear();
+    for (std::uint32_t i = 0; i < ctx.fof->halos.size(); ++i)
+      ctx.fof_index.emplace(ctx.fof->halos[i].id, i);
   }
 
   const halo::FofConfig& config() const { return cfg_; }
@@ -72,6 +111,7 @@ class HaloFinderAlgorithm : public CadencedAlgorithm {
  private:
   halo::FofConfig cfg_;
   double overload_ = 1.0;
+  std::string backend_ = "auto";
 };
 
 /// MBP center finding with the in-situ/off-line split (§4.1): halos at or
@@ -93,21 +133,43 @@ class CenterFinderAlgorithm : public CadencedAlgorithm {
   void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
     COSMO_REQUIRE(ctx.fof != nullptr,
                   "centerfinder requires the halofinder to run first");
+    COSMO_TRACE_SPAN_CAT("halo.centers", "halo");
     halo::CenterConfig ccfg;
     ccfg.softening = softening_;
     ccfg.box = ctx.box;
     const auto& particles = ctx.fof->particles;
-    for (const auto& h : ctx.fof->halos) {
+    // Split pass: defer the monsters to the off-line path, keep the rest.
+    std::vector<std::uint32_t> work;  // indices into fof->halos
+    work.reserve(ctx.fof->halos.size());
+    for (std::uint32_t hi = 0; hi < ctx.fof->halos.size(); ++hi) {
+      const auto& h = ctx.fof->halos[hi];
       if (threshold_ != 0 && h.members.size() > threshold_) {
         ctx.deferred_members.push_back(h.members);
         ctx.deferred_ids.push_back(h.id);
-        continue;
+      } else {
+        work.push_back(hi);
       }
-      const halo::CenterResult r =
-          method_ == "astar"
-              ? halo::mbp_center_astar(particles, h.members, ccfg)
-              : halo::mbp_center_brute(ctx.backend, particles, h.members,
-                                       ccfg);
+    }
+    // One task per halo. fof->halos is sorted largest-first and the pool's
+    // chunk cursor claims tasks in index order, so the expensive halos
+    // dispatch first; results land in preallocated slots and append in
+    // halo order, so the catalog is identical on both backends.
+    std::vector<halo::CenterResult> results(work.size());
+    dpp::for_each_index(
+        ctx.backend, work.size(),
+        [&](std::size_t k) {
+          const auto& h = ctx.fof->halos[work[k]];
+          results[k] =
+              method_ == "astar"
+                  ? halo::mbp_center_astar(particles, h.members, ccfg)
+                  : halo::mbp_center_brute(
+                        ctx.backend, particles, h.members, ccfg,
+                        detail::center_grain(h.members.size()));
+        },
+        /*grain=*/1);
+    for (std::size_t k = 0; k < work.size(); ++k) {
+      const auto& h = ctx.fof->halos[work[k]];
+      const auto& r = results[k];
       stats::HaloRecord rec;
       rec.id = h.id;
       rec.count = h.members.size();
@@ -141,7 +203,7 @@ class SoMassAlgorithm : public CadencedAlgorithm {
   void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
     COSMO_REQUIRE(ctx.fof != nullptr,
                   "somass requires the halofinder to run first");
-    // Index halos by id to match catalog records to member lists.
+    COSMO_TRACE_SPAN_CAT("halo.properties", "halo");
     const auto& particles = ctx.fof->particles;
     halo::SoConfig scfg;
     scfg.delta = delta_;
@@ -149,19 +211,20 @@ class SoMassAlgorithm : public CadencedAlgorithm {
     scfg.mean_density = static_cast<double>(ctx.total_particles) /
                         (ctx.box * ctx.box * ctx.box);
     scfg.box = ctx.box;
-    for (auto& rec : ctx.catalog) {
-      const halo::FofHalo* h = nullptr;
-      for (const auto& cand : ctx.fof->halos)
-        if (cand.id == rec.id) {
-          h = &cand;
-          break;
-        }
-      if (!h) continue;  // centered in a previous step / off-line part
-      const auto so = halo::so_mass(particles, h->members, rec.cx, rec.cy,
-                                    rec.cz, scfg);
-      rec.so_mass = static_cast<float>(so.mass);
-      rec.so_radius = static_cast<float>(so.radius);
-    }
+    scfg.backend = ctx.backend;
+    // One task per record; each task writes only its own record's fields.
+    dpp::for_each_index(
+        ctx.backend, ctx.catalog.size(),
+        [&](std::size_t ri) {
+          auto& rec = ctx.catalog[ri];
+          const halo::FofHalo* h = detail::find_fof_halo(ctx, rec.id);
+          if (!h) return;  // centered in a previous step / off-line part
+          const auto so = halo::so_mass(particles, h->members, rec.cx, rec.cy,
+                                        rec.cz, scfg);
+          rec.so_mass = static_cast<float>(so.mass);
+          rec.so_radius = static_cast<float>(so.radius);
+        },
+        /*grain=*/1);
   }
 
  private:
@@ -182,21 +245,22 @@ class ShapeAlgorithm : public CadencedAlgorithm {
   void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
     COSMO_REQUIRE(ctx.fof != nullptr,
                   "shapes require the halofinder to run first");
+    COSMO_TRACE_SPAN_CAT("halo.properties", "halo");
     const auto& particles = ctx.fof->particles;
-    for (auto& rec : ctx.catalog) {
-      if (rec.count < min_size_) continue;
-      const halo::FofHalo* h = nullptr;
-      for (const auto& cand : ctx.fof->halos)
-        if (cand.id == rec.id) {
-          h = &cand;
-          break;
-        }
-      if (!h) continue;
-      const auto s = stats::halo_shape(particles, h->members, rec.cx, rec.cy,
-                                       rec.cz, ctx.box);
-      rec.b_over_a = static_cast<float>(s.b_over_a);
-      rec.c_over_a = static_cast<float>(s.c_over_a);
-    }
+    dpp::for_each_index(
+        ctx.backend, ctx.catalog.size(),
+        [&](std::size_t ri) {
+          auto& rec = ctx.catalog[ri];
+          if (rec.count < min_size_) return;
+          const halo::FofHalo* h = detail::find_fof_halo(ctx, rec.id);
+          if (!h) return;
+          const auto s = stats::halo_shape(particles, h->members, rec.cx,
+                                           rec.cy, rec.cz, ctx.box,
+                                           ctx.backend);
+          rec.b_over_a = static_cast<float>(s.b_over_a);
+          rec.c_over_a = static_cast<float>(s.c_over_a);
+        },
+        /*grain=*/1);
   }
 
  private:
@@ -219,25 +283,26 @@ class ConcentrationAlgorithm : public CadencedAlgorithm {
   void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
     COSMO_REQUIRE(ctx.fof != nullptr,
                   "concentration requires the halofinder to run first");
+    COSMO_TRACE_SPAN_CAT("halo.properties", "halo");
     const auto& particles = ctx.fof->particles;
-    for (auto& rec : ctx.catalog) {
-      if (rec.count < min_size_) continue;
-      const halo::FofHalo* h = nullptr;
-      for (const auto& cand : ctx.fof->halos)
-        if (cand.id == rec.id) {
-          h = &cand;
-          break;
-        }
-      if (!h) continue;
-      const auto r =
-          rec.count >= 200
-              ? stats::concentration_profile_fit(particles, h->members,
-                                                 rec.cx, rec.cy, rec.cz,
-                                                 ctx.box)
-              : stats::concentration(particles, h->members, rec.cx, rec.cy,
-                                     rec.cz, ctx.box);
-      rec.concentration = static_cast<float>(r.c);
-    }
+    dpp::for_each_index(
+        ctx.backend, ctx.catalog.size(),
+        [&](std::size_t ri) {
+          auto& rec = ctx.catalog[ri];
+          if (rec.count < min_size_) return;
+          const halo::FofHalo* h = detail::find_fof_halo(ctx, rec.id);
+          if (!h) return;
+          const auto r =
+              rec.count >= 200
+                  ? stats::concentration_profile_fit(particles, h->members,
+                                                     rec.cx, rec.cy, rec.cz,
+                                                     ctx.box, 16, ctx.backend)
+                  : stats::concentration(particles, h->members, rec.cx,
+                                         rec.cy, rec.cz, ctx.box,
+                                         ctx.backend);
+          rec.concentration = static_cast<float>(r.c);
+        },
+        /*grain=*/1);
   }
 
  private:
@@ -267,25 +332,145 @@ class SubhaloAlgorithm : public CadencedAlgorithm {
   void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
     COSMO_REQUIRE(ctx.fof != nullptr,
                   "subhalos require the halofinder to run first");
+    COSMO_TRACE_SPAN_CAT("halo.properties", "halo");
     cfg_.box = ctx.box;
     const auto& particles = ctx.fof->particles;
-    for (auto& rec : ctx.catalog) {
-      if (rec.count <= min_host_) continue;
-      const halo::FofHalo* h = nullptr;
-      for (const auto& cand : ctx.fof->halos)
-        if (cand.id == rec.id) {
-          h = &cand;
-          break;
-        }
-      if (!h) continue;
-      const auto subs = halo::find_subhalos(particles, h->members, cfg_);
-      rec.subhalos = static_cast<std::uint32_t>(subs.size());
-    }
+    dpp::for_each_index(
+        ctx.backend, ctx.catalog.size(),
+        [&](std::size_t ri) {
+          auto& rec = ctx.catalog[ri];
+          if (rec.count <= min_host_) return;
+          const halo::FofHalo* h = detail::find_fof_halo(ctx, rec.id);
+          if (!h) return;
+          const auto subs = halo::find_subhalos(particles, h->members, cfg_);
+          rec.subhalos = static_cast<std::uint32_t>(subs.size());
+        },
+        /*grain=*/1);
   }
 
  private:
   std::size_t min_host_ = 5000;
   halo::SubhaloConfig cfg_;
+};
+
+/// Fused per-halo property chain: each halo's center → SO mass → shape →
+/// concentration (→ optional subhalos) runs as ONE pool task, so the whole
+/// sub-chain of a halo stays on one worker (cache-warm member list) while
+/// work-stealing balances the rare monsters against many small halos. The
+/// records it appends are identical to running CenterFinder + SoMass +
+/// Shape + Concentration (+ Subhalo) sequentially: every per-halo quantity
+/// is computed by the same calls with the same deterministic kernels.
+class HaloPropertiesAlgorithm : public CadencedAlgorithm {
+ public:
+  std::string Name() const override { return "haloproperties"; }
+
+  void SetToolParameters(const ParameterMap& p) override {
+    threshold_ = static_cast<std::uint64_t>(p.get_int("threshold", 0));
+    softening_ = p.get_double("softening", 1e-6);
+    method_ = p.get_string("method", "brute");
+    COSMO_REQUIRE(method_ == "brute" || method_ == "astar",
+                  "haloproperties method must be 'brute' or 'astar'");
+    delta_ = p.get_double("delta", 200.0);
+    shape_min_size_ =
+        static_cast<std::size_t>(p.get_int("shape_min_size", 100));
+    conc_min_size_ = static_cast<std::size_t>(p.get_int("conc_min_size", 100));
+    subhalos_ = p.get_bool("subhalos", false);
+    min_host_ = static_cast<std::size_t>(p.get_int("min_host", 5000));
+    sub_cfg_.num_neighbors =
+        static_cast<std::size_t>(p.get_int("num_neighbors", 20));
+    sub_cfg_.min_size = static_cast<std::size_t>(p.get_int("min_size", 20));
+    sub_cfg_.velocity_scale = p.get_double("velocity_scale", 0.0);
+  }
+
+  void Execute(const sim::StepContext&, AnalysisContext& ctx) override {
+    COSMO_REQUIRE(ctx.fof != nullptr,
+                  "haloproperties requires the halofinder to run first");
+    COSMO_TRACE_SPAN_CAT("halo.properties", "halo");
+    halo::CenterConfig ccfg;
+    ccfg.softening = softening_;
+    ccfg.box = ctx.box;
+    halo::SoConfig scfg;
+    scfg.delta = delta_;
+    scfg.particle_mass = 1.0;
+    scfg.mean_density = static_cast<double>(ctx.total_particles) /
+                        (ctx.box * ctx.box * ctx.box);
+    scfg.box = ctx.box;
+    scfg.backend = ctx.backend;
+    sub_cfg_.box = ctx.box;
+    const auto& particles = ctx.fof->particles;
+    // Same in-situ/off-line split as the center finder.
+    std::vector<std::uint32_t> work;  // indices into fof->halos
+    work.reserve(ctx.fof->halos.size());
+    for (std::uint32_t hi = 0; hi < ctx.fof->halos.size(); ++hi) {
+      const auto& h = ctx.fof->halos[hi];
+      if (threshold_ != 0 && h.members.size() > threshold_) {
+        ctx.deferred_members.push_back(h.members);
+        ctx.deferred_ids.push_back(h.id);
+      } else {
+        work.push_back(hi);
+      }
+    }
+    std::vector<stats::HaloRecord> records(work.size());
+    dpp::for_each_index(
+        ctx.backend, work.size(),
+        [&](std::size_t k) {
+          const auto& h = ctx.fof->halos[work[k]];
+          stats::HaloRecord rec;
+          rec.id = h.id;
+          rec.count = h.members.size();
+          const halo::CenterResult r =
+              method_ == "astar"
+                  ? halo::mbp_center_astar(particles, h.members, ccfg)
+                  : halo::mbp_center_brute(
+                        ctx.backend, particles, h.members, ccfg,
+                        detail::center_grain(h.members.size()));
+          rec.cx = particles.x[r.particle];
+          rec.cy = particles.y[r.particle];
+          rec.cz = particles.z[r.particle];
+          rec.potential = static_cast<float>(r.potential);
+          const auto so = halo::so_mass(particles, h.members, rec.cx, rec.cy,
+                                        rec.cz, scfg);
+          rec.so_mass = static_cast<float>(so.mass);
+          rec.so_radius = static_cast<float>(so.radius);
+          if (rec.count >= shape_min_size_) {
+            const auto s =
+                stats::halo_shape(particles, h.members, rec.cx, rec.cy,
+                                  rec.cz, ctx.box, ctx.backend);
+            rec.b_over_a = static_cast<float>(s.b_over_a);
+            rec.c_over_a = static_cast<float>(s.c_over_a);
+          }
+          if (rec.count >= conc_min_size_) {
+            const auto c =
+                rec.count >= 200
+                    ? stats::concentration_profile_fit(
+                          particles, h.members, rec.cx, rec.cy, rec.cz,
+                          ctx.box, 16, ctx.backend)
+                    : stats::concentration(particles, h.members, rec.cx,
+                                           rec.cy, rec.cz, ctx.box,
+                                           ctx.backend);
+            rec.concentration = static_cast<float>(c.c);
+          }
+          if (subhalos_ && rec.count > min_host_) {
+            const auto subs =
+                halo::find_subhalos(particles, h.members, sub_cfg_);
+            rec.subhalos = static_cast<std::uint32_t>(subs.size());
+          }
+          records[k] = rec;
+        },
+        /*grain=*/1);
+    for (auto& rec : records) ctx.catalog.push_back(rec);
+  }
+
+ private:
+  std::uint64_t threshold_ = 0;
+  double softening_ = 1e-6;
+  std::string method_ = "brute";
+  double delta_ = 200.0;
+  std::size_t shape_min_size_ = 100;
+  std::size_t conc_min_size_ = 100;
+  bool subhalos_ = false;
+  std::size_t min_host_ = 5000;
+  halo::SubhaloConfig sub_cfg_;
 };
 
 /// Builds the standard halo-analysis pipeline in execution order.
@@ -294,6 +479,22 @@ inline void register_halo_pipeline(InSituAnalysisManager& manager) {
   manager.add(std::make_unique<CenterFinderAlgorithm>());
   manager.add(std::make_unique<SoMassAlgorithm>());
   manager.add(std::make_unique<SubhaloAlgorithm>());
+}
+
+/// Full Level 3 chain as separate sequential steps (centers, SO masses,
+/// shapes, concentrations).
+inline void register_full_halo_pipeline(InSituAnalysisManager& manager) {
+  manager.add(std::make_unique<HaloFinderAlgorithm>());
+  manager.add(std::make_unique<CenterFinderAlgorithm>());
+  manager.add(std::make_unique<SoMassAlgorithm>());
+  manager.add(std::make_unique<ShapeAlgorithm>());
+  manager.add(std::make_unique<ConcentrationAlgorithm>());
+}
+
+/// Same chain with the per-halo sub-chains fused into one task per halo.
+inline void register_fused_halo_pipeline(InSituAnalysisManager& manager) {
+  manager.add(std::make_unique<HaloFinderAlgorithm>());
+  manager.add(std::make_unique<HaloPropertiesAlgorithm>());
 }
 
 }  // namespace cosmo::core

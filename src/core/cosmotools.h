@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "comm/comm.h"
@@ -50,6 +51,9 @@ struct AnalysisContext {
   // ---- blackboard (outputs of earlier algorithms in this step) ----
   /// FOF result over owned+overload particles (set by HaloFinderAlgorithm).
   std::shared_ptr<halo::DistributedFofResult> fof;
+  /// Halo id → index into fof->halos (set alongside fof), so the property
+  /// algorithms match catalog records to member lists in O(1).
+  std::unordered_map<std::int64_t, std::uint32_t> fof_index;
   /// Partial Level 3 catalog accumulated in-situ this step.
   stats::HaloCatalog catalog;
   /// Member lists (into fof->particles) of halos deferred for off-line

@@ -279,31 +279,41 @@ inline stats::HaloCatalog analyze_level2(
   sub_cfg.box = p.universe.box;
 
   WallTimer timer;
-  stats::HaloCatalog mine;
-  for (const auto h_idx :
-       assignment[static_cast<std::size_t>(c.rank())]) {
-    const sim::ParticleSet& h = halos[h_idx];
-    std::vector<std::uint32_t> members(h.size());
-    std::iota(members.begin(), members.end(), 0u);
-    const auto r = halo::mbp_center_brute(backend, h, members, ccfg);
-    stats::HaloRecord rec;
-    // Halo id = minimum particle tag (the FOF id definition), recoverable
-    // from the Level 2 block itself.
-    rec.id = *std::min_element(h.tag.begin(), h.tag.end());
-    rec.count = h.size();
-    rec.cx = h.x[r.particle];
-    rec.cy = h.y[r.particle];
-    rec.cz = h.z[r.particle];
-    rec.potential = static_cast<float>(r.potential);
-    if (p.compute_so_mass) {
-      const auto so = halo::so_mass(h, members, rec.cx, rec.cy, rec.cz, scfg);
-      rec.so_mass = static_cast<float>(so.mass);
-      rec.so_radius = static_cast<float>(so.radius);
-    }
-    if (p.compute_subhalos && h.size() > p.subhalo_min_host)
-      rec.subhalos = static_cast<std::uint32_t>(
-          halo::find_subhalos(h, members, sub_cfg).size());
-    mine.push_back(rec);
+  const auto& my_halos = assignment[static_cast<std::size_t>(c.rank())];
+  // One task per assigned halo (the LPT assignment balances across ranks;
+  // the fan-out balances within the rank), appended in assignment order so
+  // the catalog is identical on both backends.
+  stats::HaloCatalog mine(my_halos.size());
+  {
+    COSMO_TRACE_SPAN_CAT("halo.centers", "halo");
+    dpp::for_each_index(
+        backend, my_halos.size(),
+        [&](std::size_t k) {
+          const sim::ParticleSet& h = halos[my_halos[k]];
+          std::vector<std::uint32_t> members(h.size());
+          std::iota(members.begin(), members.end(), 0u);
+          const auto r = halo::mbp_center_brute(backend, h, members, ccfg);
+          stats::HaloRecord rec;
+          // Halo id = minimum particle tag (the FOF id definition),
+          // recoverable from the Level 2 block itself.
+          rec.id = *std::min_element(h.tag.begin(), h.tag.end());
+          rec.count = h.size();
+          rec.cx = h.x[r.particle];
+          rec.cy = h.y[r.particle];
+          rec.cz = h.z[r.particle];
+          rec.potential = static_cast<float>(r.potential);
+          if (p.compute_so_mass) {
+            const auto so =
+                halo::so_mass(h, members, rec.cx, rec.cy, rec.cz, scfg);
+            rec.so_mass = static_cast<float>(so.mass);
+            rec.so_radius = static_cast<float>(so.radius);
+          }
+          if (p.compute_subhalos && h.size() > p.subhalo_min_host)
+            rec.subhalos = static_cast<std::uint32_t>(
+                halo::find_subhalos(h, members, sub_cfg).size());
+          mine[k] = rec;
+        },
+        /*grain=*/1);
   }
   const double my_seconds = timer.seconds();
   if (center_seconds_per_rank)

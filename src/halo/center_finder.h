@@ -83,17 +83,20 @@ inline double exact_potential(const sim::ParticleSet& p,
 inline CenterResult mbp_center_brute(dpp::Backend backend,
                                      const sim::ParticleSet& p,
                                      std::span<const std::uint32_t> members,
-                                     const CenterConfig& cfg = {}) {
+                                     const CenterConfig& cfg = {},
+                                     std::size_t grain = 16) {
   COSMO_REQUIRE(!members.empty(), "center of an empty halo");
   const std::size_t n = members.size();
   std::vector<double> phi(n);
   // Each item is an O(n) potential sum — heavy and uniform-ish, but halos
   // run concurrently with other ranks' dispatches, so a small grain lets
-  // the work-stealing pool interleave and balance them.
+  // the work-stealing pool interleave and balance them. Callers shrink the
+  // grain further for the rare huge halos. phi is elementwise and argmin is
+  // exact, so the result is grain- and backend-invariant.
   dpp::tabulate<double>(
       backend, phi,
       [&](std::size_t k) { return detail::exact_potential(p, members, k, cfg); },
-      /*grain=*/16);
+      grain);
   const std::size_t best =
       dpp::argmin(backend, n, [&](std::size_t k) { return phi[k]; });
   CenterResult r;

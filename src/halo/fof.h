@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "comm/comm.h"
+#include "dpp/primitives.h"
 #include "halo/kdtree.h"
+#include "obs/obs.h"
 #include "sim/decomposition.h"
 #include "sim/particles.h"
 #include "util/error.h"
@@ -65,28 +67,27 @@ class DisjointSets {
 struct FofHalo {
   std::vector<std::uint32_t> members;
   std::int64_t id = 0;
+  /// Index (into the particle set the finder ran over) of the member whose
+  /// tag equals `id` — tracked during grouping so distributed ownership
+  /// tests need no member re-scan.
+  std::uint32_t min_tag_member = 0;
 };
 
 struct FofConfig {
   double linking_length = 0.2;  ///< b, in position units (Mpc/h)
   std::size_t min_size = 40;    ///< discard smaller halos (spurious links)
+  dpp::Backend backend = dpp::Backend::Serial;  ///< linking + tree build
+  std::size_t grain = 0;  ///< particles per linking block (0 = auto)
 };
 
-/// Serial FOF over `p` under the given periodicity. Returns halos with at
-/// least cfg.min_size members, largest first.
-inline std::vector<FofHalo> fof_find(const sim::ParticleSet& p,
-                                     const Periodicity& per,
-                                     const FofConfig& cfg) {
-  COSMO_REQUIRE(cfg.linking_length > 0.0, "linking length must be positive");
-  const std::size_t n = p.size();
-  std::vector<FofHalo> out;
-  if (n == 0) return out;
+namespace detail {
 
-  KdTree tree = KdTree::over_all(p, per);
-  DisjointSets sets(n);
-  const double ll2 = cfg.linking_length * cfg.linking_length;
-
-  for (std::uint32_t i = 0; i < n; ++i) {
+/// Runs the tree-traversal linking loop for particles [lo, hi), uniting
+/// every pair within the linking length into `sets`.
+inline void fof_link_range(const sim::ParticleSet& p, const KdTree& tree,
+                           double ll2, std::uint32_t lo, std::uint32_t hi,
+                           DisjointSets& sets) {
+  for (std::uint32_t i = lo; i < hi; ++i) {
     const double qx = p.x[i], qy = p.y[i], qz = p.z[i];
     tree.traverse(
         qx, qy, qz,
@@ -107,6 +108,58 @@ inline std::vector<FofHalo> fof_find(const sim::ParticleSet& p,
           }
         });
   }
+}
+
+}  // namespace detail
+
+/// FOF over `p` under the given periodicity. Returns halos with at least
+/// cfg.min_size members, largest first. On the ThreadPool backend the
+/// per-particle linking loop is partitioned into blocks, each uniting into
+/// a private DisjointSets; the block-local partitions are folded in
+/// ascending block order. Connected components are independent of unite
+/// order, so the catalog is bit-identical to Serial at every grain.
+inline std::vector<FofHalo> fof_find(const sim::ParticleSet& p,
+                                     const Periodicity& per,
+                                     const FofConfig& cfg) {
+  COSMO_REQUIRE(cfg.linking_length > 0.0, "linking length must be positive");
+  const std::size_t n = p.size();
+  std::vector<FofHalo> out;
+  if (n == 0) return out;
+
+  COSMO_TRACE_SPAN_CAT("halo.fof", "halo");
+  KdTree tree = [&] {
+    COSMO_TRACE_SPAN_CAT("halo.tree", "halo");
+    return KdTree::over_all(p, per, /*leaf_size=*/8, cfg.backend);
+  }();
+  DisjointSets sets(n);
+  const double ll2 = cfg.linking_length * cfg.linking_length;
+
+  // Cap the block count like deposit_reduce: memory stays O(workers)
+  // private DisjointSets and the ascending fold stays O(blocks · n).
+  const std::size_t nw = dpp::ThreadPool::instance().workers();
+  const std::size_t max_blocks = std::max<std::size_t>(std::size_t{1}, 4 * nw);
+  const std::size_t min_block = (n + max_blocks - 1) / max_blocks;
+  const dpp::detail::BlockDecomposition blocks(n, cfg.grain, min_block);
+  if (cfg.backend != dpp::Backend::ThreadPool || blocks.num_blocks <= 1) {
+    detail::fof_link_range(p, tree, ll2, 0, static_cast<std::uint32_t>(n),
+                           sets);
+  } else {
+    std::vector<DisjointSets> partial(blocks.num_blocks, DisjointSets(n));
+    dpp::for_each_index(
+        cfg.backend, blocks.num_blocks,
+        [&](std::size_t blk) {
+          detail::fof_link_range(p, tree, ll2,
+                                 static_cast<std::uint32_t>(blocks.lo(blk)),
+                                 static_cast<std::uint32_t>(blocks.hi(blk, n)),
+                                 partial[blk]);
+        },
+        /*grain=*/1);
+    for (auto& part : partial)
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t r = part.find(i);
+        if (r != i) sets.unite(i, r);
+      }
+  }
 
   // Group members by root.
   std::vector<std::uint32_t> root(n);
@@ -125,13 +178,21 @@ inline std::vector<FofHalo> fof_find(const sim::ParticleSet& p,
     }
     auto& h = out[static_cast<std::size_t>(halo_of_root[r])];
     h.members.push_back(i);
-    h.id = std::min(h.id, p.tag[i]);
+    if (p.tag[i] < h.id) {
+      h.id = p.tag[i];
+      h.min_tag_member = i;
+    }
   }
   std::sort(out.begin(), out.end(), [](const FofHalo& a, const FofHalo& b) {
     return a.members.size() != b.members.size()
                ? a.members.size() > b.members.size()
                : a.id < b.id;
   });
+  COSMO_COUNT("halo.fof_halos", out.size());
+  COSMO_GAUGE_SET("halo.largest_halo_frac",
+                  out.empty() ? 0.0
+                              : static_cast<double>(out.front().members.size()) /
+                                    static_cast<double>(n));
   return out;
 }
 
@@ -171,7 +232,10 @@ inline std::vector<FofHalo> fof_brute_force(const sim::ParticleSet& p,
     }
     auto& h = out[static_cast<std::size_t>(halo_of_root[r])];
     h.members.push_back(i);
-    h.id = std::min(h.id, p.tag[i]);
+    if (p.tag[i] < h.id) {
+      h.id = p.tag[i];
+      h.min_tag_member = i;
+    }
   }
   std::sort(out.begin(), out.end(), [](const FofHalo& a, const FofHalo& b) {
     return a.members.size() != b.members.size()
@@ -208,14 +272,10 @@ inline DistributedFofResult fof_distributed(comm::Comm& comm,
   out.particles = std::move(ov.particles);
   out.owned_count = ov.owned_count;
   auto halos = fof_find(out.particles, Periodicity::xy(decomp.box()), cfg);
-  // Keep a halo iff the minimum-tag member is one of our owned particles.
-  for (auto& h : halos) {
-    std::uint32_t min_tag_member = h.members.front();
-    for (const auto m : h.members)
-      if (out.particles.tag[m] < out.particles.tag[min_tag_member])
-        min_tag_member = m;
-    if (min_tag_member < out.owned_count) out.halos.push_back(std::move(h));
-  }
+  // Keep a halo iff the minimum-tag member is one of our owned particles
+  // (grouping already tracked the arg-min member alongside the id).
+  for (auto& h : halos)
+    if (h.min_tag_member < out.owned_count) out.halos.push_back(std::move(h));
   return out;
 }
 

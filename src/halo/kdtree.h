@@ -15,8 +15,10 @@
 #include <numeric>
 #include <queue>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "dpp/primitives.h"
 #include "sim/particles.h"
 #include "util/error.h"
 
@@ -35,30 +37,47 @@ struct Periodicity {
 class KdTree {
  public:
   /// Builds over the subset `subset` of particles in `p` (or all of them if
-  /// subset is empty and use_all is true).
+  /// subset is empty and use_all is true). On the ThreadPool backend the two
+  /// children of every node above kParallelBuildCutoff particles build as
+  /// concurrent pool tasks; node ids are assigned from a precomputed preorder
+  /// numbering (the tree shape is a pure function of size and leaf_size), so
+  /// the node array and index() layout are backend-invariant.
   KdTree(const sim::ParticleSet& p, std::vector<std::uint32_t> subset,
-         const Periodicity& per = {}, std::size_t leaf_size = 8)
-      : p_(&p), per_(per), leaf_size_(leaf_size), index_(std::move(subset)) {
+         const Periodicity& per = {}, std::size_t leaf_size = 8,
+         dpp::Backend backend = dpp::Backend::Serial)
+      : p_(&p),
+        per_(per),
+        leaf_size_(leaf_size),
+        backend_(backend),
+        index_(std::move(subset)) {
     COSMO_REQUIRE(!(per.x || per.y || per.z) || per.box > 0.0,
                   "periodic tree needs a box size");
     COSMO_REQUIRE(leaf_size >= 1, "leaf size must be at least 1");
     if (!index_.empty()) {
-      nodes_.reserve(2 * index_.size() / leaf_size + 2);
-      root_ = build(0, index_.size());
+      // Memoises every subtree size reachable from n (≤ 2 new per level),
+      // so build_at only reads the table — safe under concurrent builds.
+      nodes_.resize(count_subtree_nodes(index_.size()));
+      build_at(0, 0, index_.size());
+      root_ = 0;
     }
   }
 
   /// Convenience: tree over all particles.
   static KdTree over_all(const sim::ParticleSet& p,
                          const Periodicity& per = {},
-                         std::size_t leaf_size = 8) {
+                         std::size_t leaf_size = 8,
+                         dpp::Backend backend = dpp::Backend::Serial) {
     std::vector<std::uint32_t> all(p.size());
     std::iota(all.begin(), all.end(), 0u);
-    return KdTree(p, std::move(all), per, leaf_size);
+    return KdTree(p, std::move(all), per, leaf_size, backend);
   }
+
+  /// Children of nodes at least this large build as concurrent pool tasks.
+  static constexpr std::size_t kParallelBuildCutoff = 2048;
 
   std::size_t size() const { return index_.size(); }
   bool empty() const { return index_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
   /// The (reordered) particle indices; node ranges refer to this array.
   std::span<const std::uint32_t> index() const { return index_; }
 
@@ -177,7 +196,26 @@ class KdTree {
     return d;
   }
 
-  std::int32_t build(std::size_t begin, std::size_t end) {
+  /// Node count of a subtree over `count` particles — a pure function of
+  /// (count, leaf_size) because the split point is always count/2.
+  std::size_t count_subtree_nodes(std::size_t count) {
+    const auto it = subtree_count_.find(count);
+    if (it != subtree_count_.end()) return it->second;
+    std::size_t total = 1;
+    if (count > leaf_size_) {
+      const std::size_t left = count / 2;
+      total += count_subtree_nodes(left) + count_subtree_nodes(count - left);
+    }
+    subtree_count_.emplace(count, total);
+    return total;
+  }
+
+  /// Builds the subtree over index_[begin, end) at preorder slot `id`:
+  /// the left child lands at id+1, the right child after the whole left
+  /// subtree — the same numbering a serial preorder push_back produces.
+  /// Sibling subtrees touch disjoint node and index_ ranges, so they can
+  /// build concurrently without synchronisation.
+  void build_at(std::int32_t id, std::size_t begin, std::size_t end) {
     Node n;
     n.begin = static_cast<std::uint32_t>(begin);
     n.end = static_cast<std::uint32_t>(end);
@@ -194,9 +232,10 @@ class KdTree {
         n.hi[d] = std::max(n.hi[d], c[d]);
       }
     }
-    const auto id = static_cast<std::int32_t>(nodes_.size());
-    nodes_.push_back(n);
-    if (end - begin <= leaf_size_) return id;
+    if (end - begin <= leaf_size_) {
+      nodes_[static_cast<std::size_t>(id)] = n;
+      return;
+    }
 
     // Split on the widest dimension at the median.
     int dim = 0;
@@ -218,11 +257,29 @@ class KdTree {
                      [&](std::uint32_t a, std::uint32_t b) {
                        return coord(a) < coord(b);
                      });
-    const std::int32_t l = build(begin, mid);
-    const std::int32_t r = build(mid, end);
-    nodes_[static_cast<std::size_t>(id)].left = l;
-    nodes_[static_cast<std::size_t>(id)].right = r;
-    return id;
+    const std::int32_t l = id + 1;
+    const std::int32_t r =
+        id + 1 +
+        static_cast<std::int32_t>(subtree_count_.find(mid - begin)->second);
+    n.left = l;
+    n.right = r;
+    nodes_[static_cast<std::size_t>(id)] = n;
+    if (backend_ == dpp::Backend::ThreadPool &&
+        end - begin >= kParallelBuildCutoff) {
+      // Explicit grain 1: two chunks, so both children really dispatch.
+      dpp::for_each_index(
+          backend_, 2,
+          [&](std::size_t c) {
+            if (c == 0)
+              build_at(l, begin, mid);
+            else
+              build_at(r, mid, end);
+          },
+          /*grain=*/1);
+    } else {
+      build_at(l, begin, mid);
+      build_at(r, mid, end);
+    }
   }
 
   template <typename Fn>
@@ -297,6 +354,9 @@ class KdTree {
   const sim::ParticleSet* p_;
   Periodicity per_;
   std::size_t leaf_size_;
+  dpp::Backend backend_ = dpp::Backend::Serial;
+  /// Subtree size → node count, fully populated before build_at starts.
+  std::unordered_map<std::size_t, std::size_t> subtree_count_;
   std::vector<std::uint32_t> index_;
   std::vector<Node> nodes_;
   std::int32_t root_ = -1;

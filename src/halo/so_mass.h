@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "dpp/primitives.h"
 #include "sim/particles.h"
 #include "util/error.h"
 
@@ -24,6 +25,8 @@ struct SoConfig {
   double mean_density = 1.0;   ///< reference density, mass units / length³
   double particle_mass = 1.0;  ///< mass per particle
   double box = 0.0;            ///< periodic box (0 = non-periodic)
+  dpp::Backend backend = dpp::Backend::Serial;  ///< r² tabulation
+  std::size_t grain = 0;  ///< members per chunk (0 = auto)
 };
 
 struct SoResult {
@@ -40,15 +43,17 @@ inline SoResult so_mass(const sim::ParticleSet& p,
                         double cy, double cz, const SoConfig& cfg) {
   COSMO_REQUIRE(cfg.delta > 0.0 && cfg.mean_density > 0.0,
                 "SO threshold and density must be positive");
+  // Elementwise, so the values are bit-identical across backends and grains.
   std::vector<double> r2(members.size());
-  for (std::size_t k = 0; k < members.size(); ++k) {
-    const std::uint32_t i = members[k];
-    double dx = cx - p.x[i], dy = cy - p.y[i], dz = cz - p.z[i];
-    if (cfg.box > 0.0)
-      r2[k] = sim::periodic_dist2(dx, dy, dz, cfg.box);
-    else
-      r2[k] = dx * dx + dy * dy + dz * dz;
-  }
+  dpp::tabulate<double>(
+      cfg.backend, r2,
+      [&](std::size_t k) {
+        const std::uint32_t i = members[k];
+        const double dx = cx - p.x[i], dy = cy - p.y[i], dz = cz - p.z[i];
+        return cfg.box > 0.0 ? sim::periodic_dist2(dx, dy, dz, cfg.box)
+                             : dx * dx + dy * dy + dz * dz;
+      },
+      cfg.grain);
   std::sort(r2.begin(), r2.end());
 
   const double threshold = cfg.delta * cfg.mean_density;

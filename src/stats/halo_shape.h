@@ -13,7 +13,9 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <vector>
 
+#include "dpp/primitives.h"
 #include "sim/particles.h"
 #include "util/error.h"
 
@@ -69,10 +71,16 @@ struct HaloShape {
   double triaxiality = 0;
 };
 
-/// Computes the shape of a halo's members about (cx, cy, cz).
+/// Computes the shape of a halo's members about (cx, cy, cz). The inertia
+/// tensor accumulates per block of the same deterministic decomposition on
+/// both backends (Serial walks the identical blocks sequentially), with
+/// partials folded in ascending block order — so the tensor, and therefore
+/// the axis ratios, are bit-identical Serial ≡ ThreadPool at every grain.
 inline HaloShape halo_shape(const sim::ParticleSet& p,
                             std::span<const std::uint32_t> members, double cx,
-                            double cy, double cz, double box = 0.0) {
+                            double cy, double cz, double box = 0.0,
+                            dpp::Backend backend = dpp::Backend::Serial,
+                            std::size_t grain = 0) {
   COSMO_REQUIRE(members.size() >= 4, "shape needs at least four particles");
   auto fold = [&](double d) {
     if (box <= 0.0) return d;
@@ -80,21 +88,43 @@ inline HaloShape halo_shape(const sim::ParticleSet& p,
     if (d < -0.5 * box) d += box;
     return d;
   };
-  double i00 = 0, i01 = 0, i02 = 0, i11 = 0, i12 = 0, i22 = 0;
-  for (const auto i : members) {
-    const double dx = fold(p.x[i] - cx);
-    const double dy = fold(p.y[i] - cy);
-    const double dz = fold(p.z[i] - cz);
-    i00 += dx * dx;
-    i01 += dx * dy;
-    i02 += dx * dz;
-    i11 += dy * dy;
-    i12 += dy * dz;
-    i22 += dz * dz;
+  struct Tensor {
+    double i00 = 0, i01 = 0, i02 = 0, i11 = 0, i12 = 0, i22 = 0;
+  };
+  const dpp::detail::BlockDecomposition blocks(members.size(), grain);
+  std::vector<Tensor> partial(blocks.num_blocks);
+  dpp::for_each_index(
+      backend, blocks.num_blocks,
+      [&](std::size_t blk) {
+        Tensor t;
+        const std::size_t hi = blocks.hi(blk, members.size());
+        for (std::size_t k = blocks.lo(blk); k < hi; ++k) {
+          const std::uint32_t i = members[k];
+          const double dx = fold(p.x[i] - cx);
+          const double dy = fold(p.y[i] - cy);
+          const double dz = fold(p.z[i] - cz);
+          t.i00 += dx * dx;
+          t.i01 += dx * dy;
+          t.i02 += dx * dz;
+          t.i11 += dy * dy;
+          t.i12 += dy * dz;
+          t.i22 += dz * dz;
+        }
+        partial[blk] = t;
+      },
+      /*grain=*/1);
+  Tensor sum;
+  for (const auto& t : partial) {
+    sum.i00 += t.i00;
+    sum.i01 += t.i01;
+    sum.i02 += t.i02;
+    sum.i11 += t.i11;
+    sum.i12 += t.i12;
+    sum.i22 += t.i22;
   }
   const double n = static_cast<double>(members.size());
-  auto ev = symmetric_eigenvalues_3x3(i00 / n, i01 / n, i02 / n, i11 / n,
-                                      i12 / n, i22 / n);
+  auto ev = symmetric_eigenvalues_3x3(sum.i00 / n, sum.i01 / n, sum.i02 / n,
+                                      sum.i11 / n, sum.i12 / n, sum.i22 / n);
   HaloShape s;
   s.a = std::sqrt(std::max(ev[0], 0.0));
   s.b = std::sqrt(std::max(ev[1], 0.0));

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dpp/primitives.h"
 #include "halo/fof.h"
 #include "util/error.h"
 
@@ -61,8 +62,12 @@ class MergerTreeBuilder {
 
   std::size_t snapshot_count() const { return snapshots_.size(); }
 
-  /// Computes all links; call once after adding every snapshot.
-  void build() {
+  /// Computes all links; call once after adding every snapshot. The
+  /// per-progenitor overlap counts are independent (the owner map is
+  /// read-only), so they fan out as one pool task per progenitor halo;
+  /// links land in a preallocated slot per halo and are appended in halo
+  /// order, so the result is identical on both backends.
+  void build(dpp::Backend backend = dpp::Backend::Serial) {
     links_.clear();
     auto it = snapshots_.begin();
     if (it == snapshots_.end()) return;
@@ -71,19 +76,28 @@ class MergerTreeBuilder {
       std::unordered_map<std::int64_t, std::int64_t> owner;
       for (const auto& h : next->second)
         for (const auto t : h.tags) owner[t] = h.id;
-      for (const auto& h : it->second) {
-        // Count overlap per candidate descendant.
-        std::map<std::int64_t, std::size_t> overlap;
-        for (const auto t : h.tags) {
-          auto f = owner.find(t);
-          if (f != owner.end()) ++overlap[f->second];
-        }
-        if (overlap.empty()) continue;  // halo dissolved / dropped below cut
-        auto best = overlap.begin();
-        for (auto o = overlap.begin(); o != overlap.end(); ++o)
-          if (o->second > best->second) best = o;
-        links_.push_back({it->first, h.id, best->first, best->second});
-      }
+      const auto& prev = it->second;
+      // shared_particles == 0 marks "no descendant" (dissolved / below cut).
+      std::vector<MergerLink> cand(prev.size());
+      dpp::for_each_index(
+          backend, prev.size(),
+          [&](std::size_t k) {
+            const auto& h = prev[k];
+            // Count overlap per candidate descendant.
+            std::map<std::int64_t, std::size_t> overlap;
+            for (const auto t : h.tags) {
+              auto f = owner.find(t);
+              if (f != owner.end()) ++overlap[f->second];
+            }
+            if (overlap.empty()) return;
+            auto best = overlap.begin();
+            for (auto o = overlap.begin(); o != overlap.end(); ++o)
+              if (o->second > best->second) best = o;
+            cand[k] = {it->first, h.id, best->first, best->second};
+          },
+          /*grain=*/1);
+      for (const auto& l : cand)
+        if (l.shared_particles > 0) links_.push_back(l);
     }
   }
 
